@@ -1,0 +1,169 @@
+(* The fruitchain CLI: run reproduction experiments, one-off simulations, and
+   protocol demos from the command line. *)
+
+open Cmdliner
+module Exp = Fruitchain_experiments.Exp
+module Registry = Fruitchain_experiments.Registry
+module Runs = Fruitchain_experiments.Runs
+module Config = Fruitchain_sim.Config
+module Trace = Fruitchain_sim.Trace
+module Params = Fruitchain_core.Params
+module Quality = Fruitchain_metrics.Quality
+module Growth = Fruitchain_metrics.Growth
+module Consistency = Fruitchain_metrics.Consistency
+module Extract = Fruitchain_core.Extract
+module Snapshot = Fruitchain_chain.Snapshot
+module Store = Fruitchain_chain.Store
+module Types = Fruitchain_chain.Types
+
+let scale_arg =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Run at reduced scale (seconds, noisier).")
+  in
+  Term.(const (fun q -> if q then Exp.Quick else Exp.Full) $ quick)
+
+(* fruitchain list *)
+let list_cmd =
+  let doc = "List the reproduction experiments (tables and figures)." in
+  let run () =
+    List.iter (fun (id, title) -> Printf.printf "%-5s %s\n" id title) (Registry.ids ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* fruitchain run E07 [--quick] *)
+let run_cmd =
+  let doc = "Run one experiment by id (see $(b,list)); prints its table." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id, e.g. E07.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV to $(docv).")
+  in
+  let run scale csv id =
+    match Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %s; try `fruitchain list`\n" id;
+        exit 1
+    | Some (module E) ->
+        let outcome = E.run ~scale () in
+        Exp.print Format.std_formatter outcome;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Fruitchain_util.Table.to_csv outcome.Exp.table);
+            close_out oc;
+            Printf.printf "csv written to %s\n" path)
+          csv
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ scale_arg $ csv_arg $ id_arg)
+
+(* fruitchain all [--quick] *)
+let all_cmd =
+  let doc = "Run every experiment in order (the full reproduction)." in
+  let run scale = Registry.run_all ~scale Format.std_formatter in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg)
+
+(* fruitchain sim --protocol fruitchain --rho 0.3 ... *)
+let sim_cmd =
+  let doc = "Run a single parameterized simulation and print summary metrics." in
+  let protocol =
+    let protocol_conv =
+      Arg.enum [ ("nakamoto", Config.Nakamoto); ("fruitchain", Config.Fruitchain) ]
+    in
+    Arg.(
+      value & opt protocol_conv Config.Fruitchain & info [ "protocol" ] ~doc:"nakamoto | fruitchain.")
+  in
+  let rho = Arg.(value & opt float 0.25 & info [ "rho" ] ~doc:"Corrupt power fraction.") in
+  let gamma = Arg.(value & opt float 0.5 & info [ "gamma" ] ~doc:"Selfish-mining tie parameter.") in
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of parties.") in
+  let rounds = Arg.(value & opt int 50_000 & info [ "rounds" ] ~doc:"Execution length.") in
+  let delta = Arg.(value & opt int 2 & info [ "delta" ] ~doc:"Network delay bound.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Master seed.") in
+  let p = Arg.(value & opt float 0.002 & info [ "p" ] ~doc:"Block hardness.") in
+  let q = Arg.(value & opt float 10.0 & info [ "q" ] ~doc:"Fruit/block hardness ratio pf/p.") in
+  let kappa = Arg.(value & opt int 8 & info [ "kappa" ] ~doc:"Security parameter kappa.") in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("selfish", `Selfish); ("honest", `Honest); ("null", `Null) ]) `Selfish
+      & info [ "adversary" ] ~doc:"selfish | honest | null.")
+  in
+  let save_chain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-chain" ]
+          ~docv:"FILE" ~doc:"Persist the canonical honest chain to $(docv) (see $(b,inspect)).")
+  in
+  let run protocol rho gamma n rounds delta seed p q kappa strategy save_chain =
+    let params = Params.make ~p ~pf:(p *. q) ~kappa () in
+    let config =
+      Config.make ~protocol ~n ~rho ~delta ~rounds ~seed ~probe_interval:(rounds / 50) ~params ()
+    in
+    let strategy =
+      match strategy with
+      | `Selfish -> Runs.selfish ~gamma
+      | `Honest -> Runs.honest_coalition
+      | `Null -> Runs.null_delay
+    in
+    let trace = Runs.run config ~strategy () in
+    let chain = Trace.honest_final_chain trace in
+    let fruits = Extract.fruits_of_chain chain in
+    Format.printf "config: %a@." Config.pp config;
+    Format.printf "chain blocks: %d, ledger fruits: %d@." (List.length chain)
+      (List.length fruits);
+    Format.printf "adversarial block share: %.4f@."
+      (Quality.adversarial_fraction (Quality.block_shares chain));
+    if protocol = Config.Fruitchain then
+      Format.printf "adversarial fruit share: %.4f@."
+        (Quality.adversarial_fraction (Quality.fruit_shares fruits));
+    let g = Growth.measure trace ~span_rounds:(max 1_000 (rounds / 20)) in
+    Format.printf "block growth: mean %.5f, window min %.5f max %.5f per round@."
+      g.Growth.mean_rate g.Growth.min_window_rate g.Growth.max_window_rate;
+    let c = Consistency.measure trace in
+    Format.printf "consistency: max divergence %d, max rollback %d@."
+      c.Consistency.max_pairwise_divergence c.Consistency.max_future_rollback;
+    Option.iter
+      (fun path ->
+        Snapshot.save_chain ~path chain;
+        Format.printf "chain saved to %s@." path)
+      save_chain
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ protocol $ rho $ gamma $ n $ rounds $ delta $ seed $ p $ q $ kappa $ strategy
+      $ save_chain)
+
+(* fruitchain inspect FILE *)
+let inspect_cmd =
+  let doc = "Load a persisted chain snapshot, check its structure, and summarize it." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Snapshot file.")
+  in
+  let run path =
+    let chain = Snapshot.load_chain ~path in
+    let fruits = Extract.fruits_of_chain chain in
+    Format.printf "blocks: %d (excluding genesis: %d)@." (List.length chain)
+      (List.length chain - 1);
+    Format.printf "distinct fruits: %d, records: %d@." (List.length fruits)
+      (List.length (Extract.ledger_of_chain chain));
+    let sizes =
+      List.fold_left (fun acc b -> acc + Fruitchain_chain.Codec.block_wire_size b) 0 (List.tl chain)
+    in
+    Format.printf "total wire size: %d bytes@." sizes;
+    let shares = Quality.fruit_shares fruits in
+    if Quality.total shares > 0 then
+      Format.printf "provenance (if stamped) adversarial fruit share: %.4f@."
+        (Quality.adversarial_fraction shares)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file_arg)
+
+let main =
+  let doc = "FruitChains (Pass & Shi, PODC'17) reproduction toolkit" in
+  let info = Cmd.info "fruitchain" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; run_cmd; all_cmd; sim_cmd; inspect_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/mining_variance.mli:

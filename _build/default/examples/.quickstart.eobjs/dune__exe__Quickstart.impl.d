@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_util List Printf

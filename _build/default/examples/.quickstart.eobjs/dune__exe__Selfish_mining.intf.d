@@ -1,0 +1,1 @@
+examples/selfish_mining.mli:

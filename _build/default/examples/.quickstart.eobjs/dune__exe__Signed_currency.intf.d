@@ -1,0 +1,1 @@
+examples/signed_currency.mli:

@@ -1,0 +1,54 @@
+(* A small cryptocurrency on top of FruitChain: transactions with fees flow
+   through the protocol, and miners are paid under the paper's S5 rule —
+   each fruit's subsidy and fees are spread evenly over the 100-fruit
+   segment ending at it. We print the per-miner payout and compare it with
+   the miner-takes-all rule on the same ledger.
+
+   Run with: dune exec examples/fair_rewards.exe *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Params = Fruitchain_core.Params
+module Rng = Fruitchain_util.Rng
+module Tx = Fruitchain_ledger.Tx
+module Reward = Fruitchain_ledger.Reward
+module Delays = Fruitchain_adversary.Delays
+
+let () =
+  let params = Params.make ~p:0.002 ~pf:0.02 ~kappa:8 ~recency_r:4 () in
+  let n = 10 in
+  let config =
+    Config.make ~protocol:Config.Fruitchain ~n ~rho:0.0 ~delta:2 ~rounds:40_000 ~seed:5L
+      ~params ()
+  in
+  (* A transaction every 25 rounds, mean fee 0.5, and a 50-coin whale every
+     40th transaction. *)
+  let workload =
+    Tx.Workload.with_whales ~rng:(Rng.of_seed 99L) ~every:25 ~mean_fee:0.5 ~whale_every:40
+      ~whale_fee:50.0
+  in
+  let trace = Engine.run ~config ~strategy:(module Delays.Null_max) ~workload () in
+
+  let spread = Reward.fruitchain_rule trace ~unit_reward:1.0 ~segment:100 in
+  let takeall = Reward.bitcoin_rule trace ~block_reward:1.0 in
+  Printf.printf "%d reward units (fruits) confirmed; total minted+fees = %.1f\n\n"
+    spread.Reward.units spread.Reward.total;
+  Printf.printf "%-8s %-18s %-18s\n" "miner" "spread rule (S5)" "miner-takes-all";
+  for miner = 0 to n - 1 do
+    Printf.printf "%-8d %-18.2f %-18.2f\n" miner
+      (Reward.miner_payout spread miner)
+      (Reward.miner_payout takeall miner)
+  done;
+  (* The spread rule's point: identical expectation, far lower dispersion —
+     no miner's fortune hangs on confirming the whale personally. *)
+  let stats rule =
+    let xs = List.init n (fun m -> Reward.miner_payout rule m) in
+    let s = Fruitchain_util.Stats.of_list xs in
+    (Fruitchain_util.Stats.mean s, Fruitchain_util.Stats.std s)
+  in
+  let sm, ss = stats spread and tm, ts = stats takeall in
+  Printf.printf "\nmean/stddev per miner: spread %.2f / %.2f, take-all %.2f / %.2f\n" sm ss tm
+    ts;
+  Printf.printf "same money, %.1fx less dispersion — and no incentive to snipe the whale.\n"
+    (ts /. ss)

@@ -1,0 +1,56 @@
+(* Selfish mining, side by side: the same coalition running the same
+   Eyal–Sirer strategy against Nakamoto and against FruitChain.
+
+   Both runs share simulation parameters (and, by construction of the
+   engine's seeding, the same random mining luck), so the only difference
+   is the protocol. Nakamoto pays the coalition by its distorted block
+   share; FruitChain pays by the fruit ledger, which stays fair.
+
+   Run with: dune exec examples/selfish_mining.exe *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Params = Fruitchain_core.Params
+module Extract = Fruitchain_core.Extract
+module Quality = Fruitchain_metrics.Quality
+module Selfish = Fruitchain_adversary.Selfish
+
+let rho = 0.33
+let gamma = 0.8
+let rounds = 60_000
+
+let run protocol =
+  let params = Params.make ~p:0.002 ~pf:0.02 ~kappa:8 ~recency_r:4 () in
+  let config = Config.make ~protocol ~n:20 ~rho ~delta:2 ~rounds ~seed:42L ~params () in
+  let strategy : (module Fruitchain_sim.Strategy.S) =
+    (module Selfish.Make (struct
+      let gamma = gamma
+      let broadcast_fruits = true
+      let lead_stubborn = false
+      let equal_fork_stubborn = false
+    end))
+  in
+  Engine.run ~config ~strategy ()
+
+let () =
+  Printf.printf "coalition: %.0f%% of the mining power, selfish mining with gamma=%.1f\n\n"
+    (100.0 *. rho) gamma;
+  let nak = run Config.Nakamoto in
+  let nak_share =
+    Quality.adversarial_fraction (Quality.block_shares (Trace.honest_final_chain nak))
+  in
+  Printf.printf "Nakamoto:   coalition holds %5.2f%% of chain blocks  -> %.2fx its fair share\n"
+    (100.0 *. nak_share) (nak_share /. rho);
+  let fc = run Config.Fruitchain in
+  let chain = Trace.honest_final_chain fc in
+  let block_share = Quality.adversarial_fraction (Quality.block_shares chain) in
+  let fruit_share =
+    Quality.adversarial_fraction (Quality.fruit_shares (Extract.fruits_of_chain chain))
+  in
+  Printf.printf
+    "FruitChain: coalition holds %5.2f%% of chain blocks, but %5.2f%% of fruits -> %.2fx fair\n"
+    (100.0 *. block_share) (100.0 *. fruit_share) (fruit_share /. rho);
+  Printf.printf
+    "\nthe same attack distorts FruitChain's *blocks* just as badly — but rewards follow\n\
+     fruits, and erased honest fruits are simply re-recorded by later honest blocks.\n"

@@ -1,0 +1,1 @@
+lib/adversary/common.ml: Codec Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_sim Fruitchain_util List Store Types Validate

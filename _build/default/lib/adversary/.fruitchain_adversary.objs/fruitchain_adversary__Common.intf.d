@@ -1,0 +1,1 @@
+lib/adversary/common.mli: Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_sim Types

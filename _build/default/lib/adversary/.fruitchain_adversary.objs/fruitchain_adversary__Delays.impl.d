@@ -1,0 +1,1 @@
+lib/adversary/delays.ml: Fruitchain_net Fruitchain_sim

@@ -1,0 +1,1 @@
+lib/adversary/delays.mli: Fruitchain_sim

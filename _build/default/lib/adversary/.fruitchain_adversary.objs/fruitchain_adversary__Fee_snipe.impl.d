@@ -1,0 +1,1 @@
+lib/adversary/fee_snipe.ml: Common Fruitchain_chain Fruitchain_crypto Fruitchain_ledger Fruitchain_net Fruitchain_sim List Printf Store Types

@@ -1,0 +1,1 @@
+lib/adversary/fee_snipe.mli: Fruitchain_sim

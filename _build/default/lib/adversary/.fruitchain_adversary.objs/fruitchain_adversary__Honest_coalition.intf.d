@@ -1,0 +1,1 @@
+lib/adversary/honest_coalition.mli: Fruitchain_sim

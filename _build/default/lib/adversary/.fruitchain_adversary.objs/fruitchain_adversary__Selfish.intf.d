@@ -1,0 +1,1 @@
+lib/adversary/selfish.mli: Fruitchain_sim

@@ -1,0 +1,1 @@
+lib/adversary/withhold.ml: Common Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_net Fruitchain_sim List Printf Store Types

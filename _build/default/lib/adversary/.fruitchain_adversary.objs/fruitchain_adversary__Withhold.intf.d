@@ -1,0 +1,1 @@
+lib/adversary/withhold.mli: Fruitchain_sim

@@ -1,0 +1,115 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+module Oracle = Fruitchain_crypto.Oracle
+module Merkle = Fruitchain_crypto.Merkle
+module Rng = Fruitchain_util.Rng
+module Message = Fruitchain_net.Message
+module Network = Fruitchain_net.Network
+module Strategy = Fruitchain_sim.Strategy
+module Config = Fruitchain_sim.Config
+module Trace = Fruitchain_sim.Trace
+
+let coalition_miner (ctx : Strategy.ctx) =
+  match Config.corrupt_parties ctx.config with [] -> -1 | ids -> List.fold_left min max_int ids
+
+type mined = { fruit : Types.fruit option; block : Types.block option }
+
+let mine_once (ctx : Strategy.ctx) ~round ~parent ~pointer ~fruits ~record =
+  let oracle = ctx.oracle in
+  let nonce = Rng.bits64 ctx.rng in
+  let hash, committed =
+    if Oracle.is_sim oracle then (Oracle.query oracle "", None)
+    else begin
+      let fruits = fruits () in
+      let digest = Validate.fruit_set_digest fruits in
+      let header = { Types.parent; pointer; nonce; digest; record } in
+      (Oracle.query oracle (Codec.header_bytes header), Some (fruits, digest))
+    end
+  in
+  let won_fruit = Oracle.mined_fruit oracle hash in
+  let won_block = Oracle.mined_block oracle hash in
+  if not (won_fruit || won_block) then { fruit = None; block = None }
+  else begin
+    let fruits, digest =
+      match committed with
+      | Some (fruits, digest) -> (fruits, digest)
+      | None ->
+          if won_block then begin
+            let fruits = fruits () in
+            (fruits, Validate.fruit_set_digest fruits)
+          end
+          else ([], Merkle.empty_root)
+    in
+    let header = { Types.parent; pointer; nonce; digest; record } in
+    let miner = coalition_miner ctx in
+    let prov = Some { Types.miner; round; honest = false } in
+    let fruit =
+      if won_fruit then begin
+        let f = { Types.f_header = header; f_hash = hash; f_prov = prov } in
+        Trace.record_event ctx.trace
+          { Trace.round; miner; honest = false; kind = `Fruit; hash };
+        Some f
+      end
+      else None
+    in
+    let block =
+      if won_block then begin
+        let b = { Types.b_header = header; b_hash = hash; fruits; b_prov = prov } in
+        Store.add ctx.store b;
+        Trace.record_event ctx.trace
+          { Trace.round; miner; honest = false; kind = `Block; hash };
+        Some b
+      end
+      else None
+    in
+    { fruit; block }
+  end
+
+let observe_best_head (ctx : Strategy.ctx) msgs ~current =
+  List.fold_left
+    (fun ((_, best_height) as best) (m : Message.t) ->
+      match m.payload with
+      | Message.Chain_announce { head; _ } when Store.mem ctx.store head ->
+          let h = Store.height ctx.store head in
+          if h > best_height then (head, h) else best
+      | Message.Chain_announce _ | Message.Fruit_announce _ -> best)
+    current msgs
+
+let announce_to (ctx : Strategy.ctx) ~round ~recipient ~priority ~blocks ~head =
+  let msg =
+    Message.chain_announce ~sender:Message.adversary_sender ~sent_at:round ~priority ~blocks
+      ~head ()
+  in
+  Network.send_to ctx.network ~now:round ~recipient ~schedule:Network.Next_round ~rng:ctx.rng
+    msg
+
+let iter_honest (ctx : Strategy.ctx) ~round f =
+  for i = 0 to ctx.config.Config.n - 1 do
+    if not (Config.is_corrupt_at ctx.config ~round i) then f i
+  done
+
+let publish ctx ~round ~blocks ~head =
+  iter_honest ctx ~round (fun recipient ->
+      announce_to ctx ~round ~recipient ~priority:Message.rushed_priority ~blocks ~head)
+
+let publish_tie ctx ~round ~blocks ~head ~gamma =
+  iter_honest ctx ~round (fun recipient ->
+      let priority =
+        if Rng.bernoulli ctx.Strategy.rng gamma then Message.rushed_priority
+        else Message.honest_priority + 10
+      in
+      announce_to ctx ~round ~recipient ~priority ~blocks ~head)
+
+let broadcast_fruit (ctx : Strategy.ctx) ~round fruit =
+  let msg =
+    Message.fruit_announce ~sender:Message.adversary_sender ~sent_at:round
+      ~priority:Message.rushed_priority fruit
+  in
+  iter_honest ctx ~round (fun recipient ->
+      Network.send_to ctx.network ~now:round ~recipient ~schedule:Network.Next_round
+        ~rng:ctx.Strategy.rng msg)
+
+let coalition_record (ctx : Strategy.ctx) ~round =
+  match Config.corrupt_parties ctx.config with
+  | [] -> ""
+  | party :: _ -> ctx.workload ~round ~party

@@ -1,0 +1,22 @@
+(** Fee sniping — the §5 instability of the "miner takes all fees" rule.
+
+    The coalition mines honestly until an honest block confirms a
+    transaction whose fee is at least [snipe_threshold]. Then it forks: it
+    mines a competing block on the victim's parent that re-confirms the same
+    transaction (stealing the fee) and keeps extending the fork privately;
+    the fork is released as soon as it is strictly longer than the public
+    chain, and abandoned once it falls [give_up_lead] blocks behind.
+
+    Under the Bitcoin reward rule this deviation pays whenever whale fees
+    dwarf block subsidies; under the FruitChain fee-spreading rule the same
+    whale is worth only 1/T of its fee to the would-be sniper, so the fork's
+    expected cost exceeds its take — experiment E10 quantifies both. *)
+
+module Strategy = Fruitchain_sim.Strategy
+
+module type PARAMS = sig
+  val snipe_threshold : float
+  val give_up_lead : int
+end
+
+module Make (_ : PARAMS) : Strategy.S

@@ -1,0 +1,82 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+module Message = Fruitchain_net.Message
+module Network = Fruitchain_net.Network
+module Strategy = Fruitchain_sim.Strategy
+module Config = Fruitchain_sim.Config
+module Params = Fruitchain_core.Params
+module Window_view = Fruitchain_core.Window_view
+module Buffer_f = Fruitchain_core.Buffer
+
+module M : Strategy.S = struct
+  type t = {
+    ctx : Strategy.ctx;
+    buffer : Buffer_f.t;
+    mutable head : Hash.t;
+    mutable view : Window_view.t;
+  }
+
+  let name = "honest-coalition"
+
+  let create (ctx : Strategy.ctx) =
+    let view = Window_view.Cache.view ctx.views ~head:Types.genesis.b_hash in
+    {
+      ctx;
+      buffer =
+        Buffer_f.create
+          ~enforce_recency:ctx.config.Config.params.Params.enforce_recency ();
+      head = Types.genesis.b_hash;
+      view;
+    }
+
+  let schedule_honest _t _msg ~recipient:_ = Network.Max_delay
+
+  let adopt t head =
+    t.head <- head;
+    t.view <- Window_view.Cache.view t.ctx.views ~head;
+    Buffer_f.refresh t.buffer ~store:t.ctx.store ~view:t.view
+
+  let learn_fruits t (msgs : Message.t list) =
+    List.iter
+      (fun (m : Message.t) ->
+        match m.payload with
+        | Message.Fruit_announce f -> Buffer_f.add t.buffer ~view:t.view f
+        | Message.Chain_announce { blocks; _ } ->
+            List.iter
+              (fun (b : Types.block) -> List.iter (Buffer_f.add t.buffer ~view:t.view) b.fruits)
+              blocks)
+      msgs
+
+  let pointer t =
+    let depth = Params.pointer_depth t.ctx.config.Config.params in
+    let height = Store.height t.ctx.store t.head in
+    match Store.ancestor_at_height t.ctx.store ~head:t.head ~height:(max 0 (height - depth)) with
+    | Some b -> b.Types.b_hash
+    | None -> Types.genesis.b_hash
+
+  let act t ~round ~honest_broadcasts =
+    learn_fruits t honest_broadcasts;
+    let best =
+      Common.observe_best_head t.ctx honest_broadcasts
+        ~current:(t.head, Store.height t.ctx.store t.head)
+    in
+    let best_head, best_height = best in
+    if best_height > Store.height t.ctx.store t.head then adopt t best_head;
+    let fruitchain = t.ctx.config.Config.protocol = Config.Fruitchain in
+    for _ = 1 to Strategy.q_at t.ctx ~round do
+      let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
+      let { Common.fruit; block } =
+        Common.mine_once t.ctx ~round ~parent:t.head ~pointer:(pointer t) ~fruits ~record:(Common.coalition_record t.ctx ~round)
+      in
+      (match fruit with
+      | Some f when fruitchain ->
+          Buffer_f.add t.buffer ~view:t.view f;
+          Common.broadcast_fruit t.ctx ~round f
+      | Some _ | None -> ());
+      match block with
+      | Some b ->
+          adopt t b.Types.b_hash;
+          Common.publish t.ctx ~round ~blocks:[ b ] ~head:b.Types.b_hash
+      | None -> ()
+    done
+end

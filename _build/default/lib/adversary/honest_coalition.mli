@@ -1,0 +1,10 @@
+(** A coalition that follows the honest protocol with its [q] queries.
+
+    The baseline for every incentive comparison: the revenue a ρ-coalition
+    earns without deviating. Works for both protocols; fruit logic is
+    simply inert in Nakamoto runs. Provenance is stamped dishonest so the
+    metrics can attribute the coalition's blocks and fruits. *)
+
+module Strategy = Fruitchain_sim.Strategy
+
+module M : Strategy.S

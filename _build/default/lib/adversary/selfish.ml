@@ -1,0 +1,192 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+module Network = Fruitchain_net.Network
+module Strategy = Fruitchain_sim.Strategy
+module Config = Fruitchain_sim.Config
+module Params = Fruitchain_core.Params
+module Window_view = Fruitchain_core.Window_view
+module Buffer_f = Fruitchain_core.Buffer
+
+module type PARAMS = sig
+  val gamma : float
+  val broadcast_fruits : bool
+
+  val lead_stubborn : bool
+  (* When the honest chain catches up to one behind, race instead of
+     overriding (Nayak et al.'s Lead-stubborn variant). *)
+
+  val equal_fork_stubborn : bool
+  (* When winning a block during a tie race, keep it private instead of
+     releasing (Equal-fork-stubborn variant). *)
+end
+
+module Make (P : PARAMS) : Strategy.S = struct
+  type t = {
+    ctx : Strategy.ctx;
+    buffer : Buffer_f.t; (* the coalition's own fruits (censoring) *)
+    mutable priv : Hash.t; (* private mining tip *)
+    mutable withheld : Types.block list; (* unreleased private blocks, oldest first *)
+    mutable pub_head : Hash.t; (* best honest-announced tip *)
+    mutable pub_height : int;
+    mutable racing : bool; (* a tie race is in flight *)
+    mutable view : Window_view.t; (* recency view of the private tip *)
+  }
+
+  let name =
+    let variant =
+      match (P.lead_stubborn, P.equal_fork_stubborn) with
+      | false, false -> "selfish"
+      | true, false -> "lead-stubborn"
+      | false, true -> "fork-stubborn"
+      | true, true -> "lead+fork-stubborn"
+    in
+    Printf.sprintf "%s(gamma=%g)" variant P.gamma
+
+  let create (ctx : Strategy.ctx) =
+    {
+      ctx;
+      buffer =
+        Buffer_f.create
+          ~enforce_recency:ctx.config.Config.params.Params.enforce_recency ();
+      priv = Types.genesis.b_hash;
+      withheld = [];
+      pub_head = Types.genesis.b_hash;
+      pub_height = 0;
+      racing = false;
+      view = Window_view.Cache.view ctx.views ~head:Types.genesis.b_hash;
+    }
+
+  (* A tight network makes the race dynamics of the classic analysis exact. *)
+  let schedule_honest _t _msg ~recipient:_ = Network.Next_round
+
+  let priv_height t = Store.height t.ctx.store t.priv
+
+  let move_priv t head =
+    t.priv <- head;
+    if t.ctx.config.Config.protocol = Config.Fruitchain then begin
+      t.view <- Window_view.Cache.view t.ctx.views ~head;
+      Buffer_f.refresh t.buffer ~store:t.ctx.store ~view:t.view
+    end
+
+  let adopt_public t =
+    t.withheld <- [];
+    t.racing <- false;
+    move_priv t t.pub_head
+
+  let release_all t ~round ~tie =
+    (match t.withheld with
+    | [] -> ()
+    | blocks ->
+        if tie then
+          Common.publish_tie t.ctx ~round ~blocks ~head:t.priv ~gamma:P.gamma
+        else Common.publish t.ctx ~round ~blocks ~head:t.priv);
+    t.withheld <- []
+
+  let release_prefix t ~round ~upto ~tie =
+    let revealed, kept =
+      List.partition
+        (fun (b : Types.block) -> Store.height t.ctx.store b.b_hash <= upto)
+        t.withheld
+    in
+    (match List.rev revealed with
+    | [] -> ()
+    | tip :: _ ->
+        if tie then
+          Common.publish_tie t.ctx ~round ~blocks:revealed ~head:tip.Types.b_hash
+            ~gamma:P.gamma
+        else Common.publish t.ctx ~round ~blocks:revealed ~head:tip.Types.b_hash);
+    t.withheld <- kept
+
+  (* React to honest chain progress, per SM1. *)
+  let on_public_advance t ~round =
+    let lead = priv_height t - t.pub_height in
+    if lead < 0 then adopt_public t
+    else if lead = 0 then begin
+      if t.withheld <> [] then begin
+        release_all t ~round ~tie:true;
+        t.racing <- true
+      end
+      else if not t.racing then
+        (* Same height, nothing private in hand and no race of ours: move to
+           the public tip (we may sit on a dead branch of a lost race). *)
+        move_priv t t.pub_head
+    end
+    else if t.withheld <> [] then
+      if lead = 1 then begin
+        if P.lead_stubborn then begin
+          (* Stay stubborn: reveal only up to the public height (as a
+             gamma-rushed tie), keeping the lead block hidden. *)
+          release_prefix t ~round ~upto:t.pub_height ~tie:true;
+          t.racing <- true
+        end
+        else begin
+          release_all t ~round ~tie:false;
+          t.racing <- false
+        end
+      end
+      else release_prefix t ~round ~upto:t.pub_height ~tie:false
+
+  let pointer t =
+    (* Hang fruits from a stabilized block of the public chain: deep enough
+       to be on the common prefix, hence recent for every fork in play. *)
+    let depth = Params.pointer_depth t.ctx.config.Config.params in
+    let height = max 0 (t.pub_height - depth) in
+    match Store.ancestor_at_height t.ctx.store ~head:t.pub_head ~height with
+    | Some b -> b.Types.b_hash
+    | None -> Types.genesis.b_hash
+
+  let act t ~round ~honest_broadcasts =
+    let head, height =
+      Common.observe_best_head t.ctx honest_broadcasts ~current:(t.pub_head, t.pub_height)
+    in
+    if height > t.pub_height then begin
+      t.pub_head <- head;
+      t.pub_height <- height;
+      on_public_advance t ~round
+    end;
+    let fruitchain = t.ctx.config.Config.protocol = Config.Fruitchain in
+    for _ = 1 to Strategy.q_at t.ctx ~round do
+      let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
+      let { Common.fruit; block } =
+        Common.mine_once t.ctx ~round ~parent:t.priv ~pointer:(pointer t) ~fruits ~record:(Common.coalition_record t.ctx ~round)
+      in
+      (match fruit with
+      | Some f when fruitchain ->
+          Buffer_f.add t.buffer ~view:t.view f;
+          if P.broadcast_fruits then Common.broadcast_fruit t.ctx ~round f
+      | Some _ | None -> ());
+      match block with
+      | Some b ->
+          t.withheld <- t.withheld @ [ b ];
+          move_priv t b.Types.b_hash;
+          if t.racing && not P.equal_fork_stubborn then begin
+            (* Winning block of a tie race: release immediately, the private
+               chain is now strictly longest. Equal-fork-stubborn keeps it
+               private and lets the lead logic decide later. *)
+            release_all t ~round ~tie:false;
+            t.racing <- false
+          end
+      | None -> ()
+    done
+end
+
+module Gamma_zero = Make (struct
+  let gamma = 0.0
+  let broadcast_fruits = true
+  let lead_stubborn = false
+  let equal_fork_stubborn = false
+end)
+
+module Gamma_half = Make (struct
+  let gamma = 0.5
+  let broadcast_fruits = true
+  let lead_stubborn = false
+  let equal_fork_stubborn = false
+end)
+
+module Gamma_one = Make (struct
+  let gamma = 1.0
+  let broadcast_fruits = true
+  let lead_stubborn = false
+  let equal_fork_stubborn = false
+end)

@@ -1,0 +1,19 @@
+(** The fruit-withholding attack of §1.2.
+
+    The coalition mines on the public chain and announces blocks normally,
+    but squirrels away every fruit it mines and dumps the whole hoard every
+    [release_interval] rounds, trying to concentrate its fruits into one
+    short segment of the fruit ledger. With the recency rule enforced
+    (R·κ window) the hoarded fruits go stale — their hang points fall out of
+    the window — and are rejected, so the burst fizzles; with the rule
+    disabled (the E09 ablation) the burst lands and some window's
+    adversarial fruit fraction spikes far above ρ. *)
+
+module Strategy = Fruitchain_sim.Strategy
+
+module type PARAMS = sig
+  val release_interval : int
+  (** Rounds between hoard dumps; the hoard ages up to this long. *)
+end
+
+module Make (_ : PARAMS) : Strategy.S

@@ -1,0 +1,1 @@
+lib/chain/codec.ml: Buffer Char Fruitchain_crypto Int64 List String Types

@@ -1,0 +1,1 @@
+lib/chain/snapshot.ml: Buffer Char Codec Fruitchain_crypto Fun List Store String Types

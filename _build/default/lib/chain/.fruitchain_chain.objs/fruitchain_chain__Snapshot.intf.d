@@ -1,0 +1,1 @@
+lib/chain/snapshot.mli: Fruitchain_crypto Store Types

@@ -1,0 +1,1 @@
+lib/chain/store.ml: Fruitchain_crypto Hashtbl List Option Types

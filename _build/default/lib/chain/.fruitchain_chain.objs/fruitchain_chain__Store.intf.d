@@ -1,0 +1,1 @@
+lib/chain/store.mli: Fruitchain_crypto Hashtbl Types

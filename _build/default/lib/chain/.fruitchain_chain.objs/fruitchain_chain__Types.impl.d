@@ -1,0 +1,1 @@
+lib/chain/types.ml: Format Fruitchain_crypto List

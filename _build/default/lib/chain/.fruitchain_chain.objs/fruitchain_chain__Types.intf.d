@@ -1,0 +1,1 @@
+lib/chain/types.mli: Format Fruitchain_crypto

@@ -1,0 +1,1 @@
+lib/chain/validate.ml: Codec Format Fruitchain_crypto Hashtbl List Store Types

@@ -1,0 +1,1 @@
+lib/chain/validate.mli: Format Fruitchain_crypto Store Types

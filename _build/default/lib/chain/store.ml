@@ -1,0 +1,102 @@
+open Types
+module Hash = Fruitchain_crypto.Hash
+
+module Hashtbl_h = Hashtbl.Make (struct
+  type t = Hash.t
+
+  let equal = Hash.equal
+  let hash = Hash.hash
+end)
+
+type entry = { block : block; height : int }
+type t = { entries : entry Hashtbl_h.t }
+
+let create () =
+  let entries = Hashtbl_h.create 4096 in
+  Hashtbl_h.replace entries genesis.b_hash { block = genesis; height = 0 };
+  { entries }
+
+let mem t h = Hashtbl_h.mem t.entries h
+let find t h = Option.map (fun e -> e.block) (Hashtbl_h.find_opt t.entries h)
+
+let find_exn t h =
+  match Hashtbl_h.find_opt t.entries h with
+  | Some e -> e.block
+  | None -> raise Not_found
+
+let height t h =
+  match Hashtbl_h.find_opt t.entries h with
+  | Some e -> e.height
+  | None -> raise Not_found
+
+let size t = Hashtbl_h.length t.entries
+
+let add t block =
+  if not (mem t block.b_hash) then begin
+    match Hashtbl_h.find_opt t.entries block.b_header.parent with
+    | None -> invalid_arg "Store.add: parent unknown"
+    | Some parent -> Hashtbl_h.replace t.entries block.b_hash { block; height = parent.height + 1 }
+  end
+
+let parent t block =
+  if Hash.equal block.b_hash genesis.b_hash then None else find t block.b_header.parent
+
+let fold_back t ~head ~init ~f =
+  let rec go acc h =
+    let block = find_exn t h in
+    let acc = f acc block in
+    if Hash.equal h genesis.b_hash then acc else go acc block.b_header.parent
+  in
+  go init head
+
+let to_list t ~head = fold_back t ~head ~init:[] ~f:(fun acc b -> b :: acc)
+
+let last_n t ~head n =
+  let rec go acc h remaining =
+    if remaining = 0 then acc
+    else
+      let block = find_exn t h in
+      let acc = block :: acc in
+      if Hash.equal h genesis.b_hash then acc else go acc block.b_header.parent (remaining - 1)
+  in
+  go [] head n
+
+let ancestor_at_height t ~head ~height:target =
+  if target < 0 then None
+  else
+    let rec go h =
+      match Hashtbl_h.find_opt t.entries h with
+      | None -> None
+      | Some e ->
+          if e.height = target then Some e.block
+          else if e.height < target then None
+          else go e.block.b_header.parent
+    in
+    go head
+
+let common_prefix_height t a b =
+  let rec lift h target =
+    let e = Hashtbl_h.find t.entries h in
+    if e.height <= target then h else lift e.block.b_header.parent target
+  in
+  let ha = height t a and hb = height t b in
+  let level = min ha hb in
+  let rec meet x y =
+    if Hash.equal x y then height t x
+    else
+      let ex = Hashtbl_h.find t.entries x and ey = Hashtbl_h.find t.entries y in
+      meet ex.block.b_header.parent ey.block.b_header.parent
+  in
+  meet (lift a level) (lift b level)
+
+let recent_fruit_hashes t ~head ~window =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun f -> Hashtbl.replace acc f.f_hash ()) b.fruits)
+    (last_n t ~head window);
+  acc
+
+let hang_positions t ~head ~window =
+  let acc = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace acc b.b_hash (height t b.b_hash)) (last_n t ~head window);
+  acc

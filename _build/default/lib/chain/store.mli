@@ -1,0 +1,61 @@
+(** A hash-indexed block store over the whole block tree.
+
+    Every party in a simulation shares one store (the adversary sees all
+    messages anyway); a party's "chain" is just a head reference plus the
+    store's parent links, so adopting a longer chain is O(1) and reorgs never
+    copy blocks. Heights are memoized on insertion (genesis has height 0, so
+    a chain's height equals the paper's |chain| − 1). *)
+
+open Types
+module Hash = Fruitchain_crypto.Hash
+
+type t
+
+val create : unit -> t
+(** A store containing only {!Types.genesis}. *)
+
+val add : t -> block -> unit
+(** Inserts a block whose parent is already present; raises
+    [Invalid_argument] otherwise (the network layer guarantees parents are
+    delivered first, and tests exercise the failure). Re-inserting an
+    existing hash is a no-op. *)
+
+val mem : t -> Hash.t -> bool
+val find : t -> Hash.t -> block option
+val find_exn : t -> Hash.t -> block
+val height : t -> Hash.t -> int
+(** Raises [Not_found] for unknown hashes. *)
+
+val size : t -> int
+(** Number of blocks, including genesis. *)
+
+val parent : t -> block -> block option
+(** [None] for genesis. *)
+
+val to_list : t -> head:Hash.t -> block list
+(** The chain from genesis (inclusive, first) to [head] (last). *)
+
+val last_n : t -> head:Hash.t -> int -> block list
+(** The at-most-[n] trailing blocks of the chain ending at [head], oldest
+    first. [last_n t ~head n] with [n] ≥ chain length returns the full
+    chain. *)
+
+val fold_back : t -> head:Hash.t -> init:'acc -> f:('acc -> block -> 'acc) -> 'acc
+(** Folds from [head] down to genesis. *)
+
+val ancestor_at_height : t -> head:Hash.t -> height:int -> block option
+(** The block at the given height on the chain ending at [head]. *)
+
+val common_prefix_height : t -> Hash.t -> Hash.t -> int
+(** Height of the deepest common ancestor of two heads — the paper's common
+    prefix measure. Genesis guarantees the result is ≥ 0. *)
+
+val recent_fruit_hashes : t -> head:Hash.t -> window:int -> (Hash.t, unit) Hashtbl.t
+(** Hashes of all fruits contained in the last [window] blocks of the chain
+    at [head]. Used both by miners (duplicate suppression) and by the
+    recency validity rule. *)
+
+val hang_positions : t -> head:Hash.t -> window:int -> (Hash.t, int) Hashtbl.t
+(** Maps the reference of each of the last [window] blocks (and genesis when
+    in range) to its height; a fruit is {e recent} w.r.t. [head] iff its
+    pointer is a key (§4.1). *)

@@ -1,0 +1,48 @@
+(** The validity rules of §4.1, parameterized by the oracle.
+
+    All checks are expressed exactly as the paper states them: a fruit is
+    valid iff its reference is the oracle image of its header and the last-κ
+    view meets [D_{p_f}]; a block additionally commits to its fruit set with
+    [digest = d(F)] and meets [D_p] on the first-κ view; a blockchain is
+    valid iff it starts at genesis, links correctly, and every included
+    fruit hangs from a block at most [recency] positions above the block
+    containing it. *)
+
+open Types
+module Oracle = Fruitchain_crypto.Oracle
+module Hash = Fruitchain_crypto.Hash
+
+val fruit_set_digest : fruit list -> Hash.t
+(** [d(F)]: Merkle root of the fruits' wire encodings, in inclusion order. *)
+
+val valid_fruit : Oracle.t -> fruit -> bool
+(** Conditions (i)–(ii) of the fruit validity definition. *)
+
+val valid_block : Oracle.t -> block -> bool
+(** Conditions (i)–(iv) of the block validity definition: correct digest,
+    valid fruit set, correct reference, block difficulty. Genesis is valid
+    by definition. *)
+
+type chain_error =
+  | Not_genesis_rooted
+  | Broken_link of { position : int }
+  | Invalid_block of { position : int }
+  | Stale_fruit of { position : int; fruit : Hash.t }
+      (** The fruit's pointer is not the reference of a chain block within
+          the recency window ending just above [position]. *)
+
+val pp_chain_error : Format.formatter -> chain_error -> unit
+
+val valid_chain :
+  Oracle.t -> recency:int option -> block list -> (unit, chain_error) result
+(** [valid_chain oracle ~recency chain] checks a full chain, genesis first.
+    [recency = Some w] enforces the fruit-freshness rule with window [w]
+    (the paper's Rκ); [None] disables it (used by experiment E09 to
+    demonstrate the withholding attack the rule exists to stop, and by
+    Nakamoto chains, which carry no fruits). *)
+
+val valid_extension :
+  Oracle.t -> Store.t -> recency:int option -> block -> (unit, chain_error) result
+(** Incremental form used by nodes: checks one new block against a store
+    that already holds its (validated) ancestors. [position] in errors is
+    the block's height. *)

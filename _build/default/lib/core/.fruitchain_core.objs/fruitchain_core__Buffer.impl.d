@@ -1,0 +1,1 @@
+lib/core/buffer.ml: Fruitchain_chain Fruitchain_crypto Hashtbl List Option Types Window_view

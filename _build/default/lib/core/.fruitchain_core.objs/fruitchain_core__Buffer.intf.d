@@ -1,0 +1,1 @@
+lib/core/buffer.mli: Fruitchain_chain Fruitchain_crypto Store Types Window_view

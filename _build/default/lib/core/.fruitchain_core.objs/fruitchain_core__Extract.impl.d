@@ -1,0 +1,1 @@
+lib/core/extract.ml: Fruitchain_chain Fruitchain_crypto Hashtbl List Store String Types

@@ -1,0 +1,1 @@
+lib/core/extract.mli: Fruitchain_chain Fruitchain_crypto Store Types

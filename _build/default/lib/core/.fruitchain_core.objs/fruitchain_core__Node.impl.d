@@ -1,0 +1,1 @@
+lib/core/node.ml: Buffer Codec Extract Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_util Fun List Option Params Store Types Validate Window_view

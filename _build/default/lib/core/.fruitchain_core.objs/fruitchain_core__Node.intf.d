@@ -1,0 +1,1 @@
+lib/core/node.mli: Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_util Params Store Types Window_view

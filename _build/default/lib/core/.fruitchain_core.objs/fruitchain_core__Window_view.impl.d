@@ -1,0 +1,1 @@
+lib/core/window_view.ml: Fruitchain_chain Fruitchain_crypto Hashtbl List Map Store Types

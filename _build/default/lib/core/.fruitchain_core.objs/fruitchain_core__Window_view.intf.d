@@ -1,0 +1,1 @@
+lib/core/window_view.mli: Fruitchain_chain Fruitchain_crypto Store Types

@@ -1,0 +1,115 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+
+type t = {
+  enforce_recency : bool;
+  fruits : (Hash.t, Types.fruit) Hashtbl.t;  (* everything retained *)
+  candidate_set : (Hash.t, Types.fruit) Hashtbl.t;  (* recent ∧ not recorded *)
+  by_pointer : (Hash.t, Hash.t list) Hashtbl.t;  (* hang point -> fruit refs *)
+  mutable sorted : Types.fruit list;  (* cache of [candidates] *)
+  mutable dirty : bool;
+}
+
+let create ?(enforce_recency = true) () =
+  {
+    enforce_recency;
+    fruits = Hashtbl.create 256;
+    candidate_set = Hashtbl.create 64;
+    by_pointer = Hashtbl.create 64;
+    sorted = [];
+    dirty = false;
+  }
+
+let size t = Hashtbl.length t.fruits
+let mem t h = Hashtbl.mem t.fruits h
+
+let classify t ~view (f : Types.fruit) =
+  let eligible =
+    ((not t.enforce_recency) || Window_view.is_recent view ~pointer:f.f_header.pointer)
+    && not (Window_view.is_included view ~fruit:f.f_hash)
+  in
+  if eligible then begin
+    if not (Hashtbl.mem t.candidate_set f.f_hash) then begin
+      Hashtbl.replace t.candidate_set f.f_hash f;
+      t.dirty <- true
+    end
+  end
+  else if Hashtbl.mem t.candidate_set f.f_hash then begin
+    Hashtbl.remove t.candidate_set f.f_hash;
+    t.dirty <- true
+  end
+
+let add t ~view (f : Types.fruit) =
+  if not (Hashtbl.mem t.fruits f.f_hash) then begin
+    Hashtbl.replace t.fruits f.f_hash f;
+    let siblings =
+      Option.value ~default:[] (Hashtbl.find_opt t.by_pointer f.f_header.pointer)
+    in
+    Hashtbl.replace t.by_pointer f.f_header.pointer (f.f_hash :: siblings);
+    classify t ~view f
+  end
+
+let drop t fruit_hash =
+  match Hashtbl.find_opt t.fruits fruit_hash with
+  | None -> ()
+  | Some f ->
+      Hashtbl.remove t.fruits fruit_hash;
+      if Hashtbl.mem t.candidate_set fruit_hash then begin
+        Hashtbl.remove t.candidate_set fruit_hash;
+        t.dirty <- true
+      end;
+      let siblings =
+        Option.value ~default:[] (Hashtbl.find_opt t.by_pointer f.f_header.pointer)
+      in
+      let siblings = List.filter (fun h -> not (Hash.equal h fruit_hash)) siblings in
+      if siblings = [] then Hashtbl.remove t.by_pointer f.f_header.pointer
+      else Hashtbl.replace t.by_pointer f.f_header.pointer siblings
+
+let refresh t ~store ~view =
+  Hashtbl.reset t.candidate_set;
+  t.dirty <- true;
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun h (f : Types.fruit) ->
+      if t.enforce_recency && Window_view.stale_pointer ~store view ~pointer:f.f_header.pointer
+      then stale := h :: !stale
+      else classify t ~view f)
+    t.fruits;
+  List.iter (drop t) !stale
+
+let advance t ~view ~block =
+  (* The chain grew by exactly [block] and the window slid accordingly; the
+     candidate set changes only at the edges, no rescan needed. *)
+  List.iter
+    (fun (f : Types.fruit) ->
+      if Hashtbl.mem t.candidate_set f.f_hash then begin
+        Hashtbl.remove t.candidate_set f.f_hash;
+        t.dirty <- true
+      end)
+    block.Types.fruits;
+  if t.enforce_recency then begin
+    match Window_view.expired view with
+    | None -> ()
+    | Some old_block ->
+        (* Fruits hanging from the block that left the window are stale on
+           this chain forever (heights only grow). *)
+        let victims = Option.value ~default:[] (Hashtbl.find_opt t.by_pointer old_block) in
+        List.iter (drop t) victims
+  end;
+  (* Buffered fruits hanging from the new head become recent now. *)
+  let newly_recent =
+    Option.value ~default:[] (Hashtbl.find_opt t.by_pointer block.Types.b_hash)
+  in
+  List.iter
+    (fun h -> match Hashtbl.find_opt t.fruits h with Some f -> classify t ~view f | None -> ())
+    newly_recent
+
+let candidates t =
+  if t.dirty then begin
+    let all = Hashtbl.fold (fun _ f acc -> f :: acc) t.candidate_set [] in
+    t.sorted <- List.sort (fun (a : Types.fruit) b -> Hash.compare a.f_hash b.f_hash) all;
+    t.dirty <- false
+  end;
+  t.sorted
+
+let candidate_count t = Hashtbl.length t.candidate_set

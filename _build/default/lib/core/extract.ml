@@ -1,0 +1,28 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+
+let fruits_of_chain chain =
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  List.iter
+    (fun (b : Types.block) ->
+      List.iter
+        (fun (f : Types.fruit) ->
+          if not (Hashtbl.mem seen f.f_hash) then begin
+            Hashtbl.replace seen f.f_hash ();
+            out := f :: !out
+          end)
+        b.fruits)
+    chain;
+  List.rev !out
+
+let fruits store ~head = fruits_of_chain (Store.to_list store ~head)
+
+let records fruit_list =
+  List.filter_map
+    (fun (f : Types.fruit) ->
+      if String.length f.f_header.record = 0 then None else Some f.f_header.record)
+    fruit_list
+
+let ledger_of_chain chain = records (fruits_of_chain chain)
+let ledger store ~head = records (fruits store ~head)

@@ -1,0 +1,21 @@
+(** [extract_fruit] — the ledger linearization of Figure 1.
+
+    The fruit sequence of a chain lists each distinct fruit once, at its
+    first occurrence, ordered by the first block that contains it and, within
+    a block, by the block's serialization order. The record sequence is the
+    fruits' records in that order. *)
+
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+
+val fruits : Store.t -> head:Hash.t -> Types.fruit list
+(** Distinct fruits of the chain ending at [head], in ledger order. *)
+
+val fruits_of_chain : Types.block list -> Types.fruit list
+(** Same, from an explicit genesis-first chain. *)
+
+val ledger : Store.t -> head:Hash.t -> string list
+(** The records of {!fruits}, with empty records (pure padding inputs)
+    dropped — this is the protocol's output to the environment. *)
+
+val ledger_of_chain : Types.block list -> string list

@@ -1,0 +1,198 @@
+open Fruitchain_chain
+module Oracle = Fruitchain_crypto.Oracle
+module Hash = Fruitchain_crypto.Hash
+module Merkle = Fruitchain_crypto.Merkle
+module Rng = Fruitchain_util.Rng
+module Message = Fruitchain_net.Message
+
+type t = {
+  id : int;
+  params : Params.t;
+  store : Store.t;
+  views : Window_view.Cache.t;
+  rng : Rng.t;
+  buffer : Buffer.t;
+  gossip : bool;
+  mutable head : Hash.t;
+  mutable view : Window_view.t;
+  mutable pending_relays : Message.t list; (* reverse order, drained by step *)
+}
+
+let create ?(gossip = false) ~id ~params ~store ~views ~rng () =
+  {
+    id;
+    params;
+    store;
+    views;
+    rng;
+    buffer = Buffer.create ~enforce_recency:params.Params.enforce_recency ();
+    gossip;
+    head = Types.genesis.b_hash;
+    view = Window_view.Cache.view views ~head:Types.genesis.b_hash;
+    pending_relays = [];
+  }
+
+let id t = t.id
+let params t = t.params
+let head t = t.head
+let height t = Store.height t.store t.head
+let chain t = Store.to_list t.store ~head:t.head
+let buffer_size t = Buffer.size t.buffer
+let candidate_fruits t = Buffer.candidates t.buffer
+let ledger t = Extract.ledger t.store ~head:t.head
+
+let recency t =
+  if t.params.Params.enforce_recency then Some (Params.recency_window t.params) else None
+
+(* Adopting a head that extends the current chain walks the extension
+   block-by-block so the buffer can update incrementally; a genuine reorg
+   (or an extension deeper than the recency window) falls back to a full
+   buffer rescan. *)
+let adopt t new_head =
+  let bound = Params.recency_window t.params in
+  let rec path_to acc h steps =
+    if Hash.equal h t.head then Some acc
+    else if steps = 0 || Hash.equal h Types.genesis.b_hash then None
+    else
+      match Store.find t.store h with
+      | None -> None
+      | Some b -> path_to (b :: acc) b.b_header.parent (steps - 1)
+  in
+  (match path_to [] new_head bound with
+  | Some blocks ->
+      List.iter
+        (fun (b : Types.block) ->
+          let view = Window_view.Cache.view t.views ~head:b.b_hash in
+          t.view <- view;
+          Buffer.advance t.buffer ~view ~block:b)
+        blocks
+  | None ->
+      let view = Window_view.Cache.view t.views ~head:new_head in
+      t.view <- view;
+      Buffer.refresh t.buffer ~store:t.store ~view);
+  t.head <- new_head
+
+(* Insert announced blocks parent-first; any invalid block invalidates the
+   whole announcement (its descendants cannot be valid either). Fruits
+   carried by valid blocks are learned into the buffer: if the carrying
+   block is later orphaned, the node can re-record them — the re-inclusion
+   mechanism behind the fairness guarantee. *)
+let receive t oracle (msg : Message.t) =
+  match msg.payload with
+  | Message.Fruit_announce f ->
+      if Validate.valid_fruit oracle f && not (Buffer.mem t.buffer f.f_hash) then begin
+        Buffer.add t.buffer ~view:t.view f;
+        if t.gossip then
+          t.pending_relays <-
+            Message.fruit_announce ~sender:t.id ~sent_at:msg.sent_at ~relay:true f
+            :: t.pending_relays
+      end
+  | Message.Chain_announce { blocks; head } ->
+      let rec insert = function
+        | [] -> true
+        | (b : Types.block) :: rest ->
+            if Store.mem t.store b.b_hash then insert rest
+            else begin
+              match Validate.valid_extension oracle t.store ~recency:(recency t) b with
+              | Ok () ->
+                  Store.add t.store b;
+                  List.iter (Buffer.add t.buffer ~view:t.view) b.fruits;
+                  insert rest
+              | Error _ -> false
+            end
+      in
+      let all_inserted = insert blocks in
+      if all_inserted && Store.mem t.store head
+         && Store.height t.store head > Store.height t.store t.head
+      then begin
+        adopt t head;
+        if t.gossip then
+          t.pending_relays <-
+            Message.chain_announce ~sender:t.id ~sent_at:msg.sent_at ~relay:true ~blocks ~head
+              ()
+            :: t.pending_relays
+      end
+
+type mined = { fruit : Types.fruit option; block : Types.block option }
+
+let pointer_hash t =
+  let pos = max 0 (height t - Params.pointer_depth t.params) in
+  match Store.ancestor_at_height t.store ~head:t.head ~height:pos with
+  | Some b -> b.Types.b_hash
+  | None -> Types.genesis.b_hash
+
+let mine t oracle ~round ~record ~honest =
+  let parent = t.head in
+  let pointer = pointer_hash t in
+  let nonce = Rng.bits64 t.rng in
+  (* Under the sampling backend the oracle ignores its pre-image, so the
+     candidate fruit set and its digest — the expensive header components —
+     are looked at only when a block is actually won. Under the real backend
+     the digest is committed before the query, exactly as in Figure 1; the
+     candidate set cannot change between the two code paths because nothing
+     touches the buffer in between. *)
+  let hash, committed =
+    if Oracle.is_sim oracle then (Oracle.query oracle "", None)
+    else begin
+      let candidates = Buffer.candidates t.buffer in
+      let digest = Validate.fruit_set_digest candidates in
+      let header = { Types.parent; pointer; nonce; digest; record } in
+      (Oracle.query oracle (Codec.header_bytes header), Some (candidates, digest))
+    end
+  in
+  let won_fruit = Oracle.mined_fruit oracle hash in
+  let won_block = Oracle.mined_block oracle hash in
+  if not (won_fruit || won_block) then { fruit = None; block = None }
+  else begin
+    let candidates, digest =
+      match committed with
+      | Some (candidates, digest) -> (candidates, digest)
+      | None ->
+          (* Only a mined block's digest is ever checked against its fruit
+             set; a lone fruit's digest field is the piggybacking artifact
+             and any fixed value is canonical enough. *)
+          if won_block then begin
+            let candidates = Buffer.candidates t.buffer in
+            (candidates, Validate.fruit_set_digest candidates)
+          end
+          else ([], Merkle.empty_root)
+    in
+    let header = { Types.parent; pointer; nonce; digest; record } in
+    let prov = Some { Types.miner = t.id; round; honest } in
+    let fruit =
+      if won_fruit then begin
+        let f = { Types.f_header = header; f_hash = hash; f_prov = prov } in
+        Buffer.add t.buffer ~view:t.view f;
+        Some f
+      end
+      else None
+    in
+    let block =
+      if won_block then begin
+        let b =
+          { Types.b_header = header; b_hash = hash; fruits = candidates; b_prov = prov }
+        in
+        Store.add t.store b;
+        adopt t b.b_hash;
+        Some b
+      end
+      else None
+    in
+    { fruit; block }
+  end
+
+let step t oracle ~round ~record ~incoming =
+  List.iter (receive t oracle) incoming;
+  let relays = List.rev t.pending_relays in
+  t.pending_relays <- [];
+  let { fruit; block } = mine t oracle ~round ~record ~honest:true in
+  let fruit_msg =
+    Option.map (fun f -> Message.fruit_announce ~sender:t.id ~sent_at:round f) fruit
+  in
+  let block_msg =
+    Option.map
+      (fun (b : Types.block) ->
+        Message.chain_announce ~sender:t.id ~sent_at:round ~blocks:[ b ] ~head:b.b_hash ())
+      block
+  in
+  List.filter_map Fun.id [ fruit_msg; block_msg ] @ relays

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Bytes Char Format Fruitchain_util Hashtbl Int64 String

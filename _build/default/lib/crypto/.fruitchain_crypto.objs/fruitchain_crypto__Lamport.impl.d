@@ -1,0 +1,1 @@
+lib/crypto/lamport.ml: Array Buffer Char Hash Printf Sha256 String

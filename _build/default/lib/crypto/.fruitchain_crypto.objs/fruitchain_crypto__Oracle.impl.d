@@ -1,0 +1,1 @@
+lib/crypto/oracle.ml: Fruitchain_util Hash Hashtbl Int64 Sha256

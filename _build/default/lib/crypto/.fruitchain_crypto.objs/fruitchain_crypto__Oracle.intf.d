@@ -1,0 +1,1 @@
+lib/crypto/oracle.mli: Fruitchain_util Hash

@@ -1,0 +1,58 @@
+type t = string
+
+let of_raw s =
+  if String.length s <> 32 then invalid_arg "Hash.of_raw: expected 32 bytes";
+  s
+
+let to_raw t = t
+let zero = String.make 32 '\000'
+let equal = String.equal
+let compare = String.compare
+let hash t = Hashtbl.hash t
+let to_hex = Fruitchain_util.Hex.encode
+let of_hex s = of_raw (Fruitchain_util.Hex.decode s)
+let pp fmt t = Format.fprintf fmt "%s…" (String.sub (to_hex t) 0 8)
+let pp_full fmt t = Format.pp_print_string fmt (to_hex t)
+
+let read64 t pos =
+  let b i = Int64.of_int (Char.code t.[pos + i]) in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (b i)
+  done;
+  !acc
+
+let prefix64 t = read64 t 0
+let suffix64 t = read64 t 24
+
+let threshold p =
+  if p <= 0.0 then 0L
+  else if p >= 1.0 then -1L (* all ones: every view passes *)
+  else begin
+    (* p * 2^64 computed via p * 2^63 * 2 to stay within the signed range,
+       then reassembled as the unsigned bit pattern. *)
+    let scaled = p *. 9.2233720368547758e18 (* 2^63 *) in
+    let hi = Int64.of_float scaled in
+    Int64.shift_left hi 1
+  end
+
+let meets_view view limit =
+  (* view < limit, unsigned. *)
+  Int64.unsigned_compare view limit < 0
+
+let meets_block_difficulty t ~p = meets_view (prefix64 t) (threshold p)
+let meets_fruit_difficulty t ~pf = meets_view (suffix64 t) (threshold pf)
+
+let write64 buf pos v =
+  for i = 0 to 7 do
+    Bytes.set buf (pos + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xffL)))
+  done
+
+let of_views ~block_view ~fruit_view ~filler:(f1, f2) =
+  let buf = Bytes.create 32 in
+  write64 buf 0 block_view;
+  write64 buf 8 f1;
+  write64 buf 16 f2;
+  write64 buf 24 fruit_view;
+  Bytes.unsafe_to_string buf

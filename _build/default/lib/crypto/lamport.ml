@@ -1,0 +1,59 @@
+(* Lamport-Diffie one-time signatures, 256-bit messages, SHA-256 throughout. *)
+
+type secret_key = string array array (* [bit position].[bit value] -> 32-byte preimage *)
+type public_key = string array array (* hashes of the above *)
+type signature = string array (* per bit, the revealed preimage *)
+
+let bits = 256
+
+let generate ~seed =
+  let sk =
+    Array.init bits (fun i ->
+        Array.init 2 (fun b ->
+            Sha256.digest (Printf.sprintf "fruitchain:lamport:%d:%d:%s" i b seed)))
+  in
+  let pk = Array.map (Array.map Sha256.digest) sk in
+  (sk, pk)
+
+let public_of_secret sk = Array.map (Array.map Sha256.digest) sk
+
+let message_bits msg =
+  let digest = Sha256.digest msg in
+  Array.init bits (fun i ->
+      let byte = Char.code digest.[i / 8] in
+      (byte lsr (7 - (i mod 8))) land 1)
+
+let sign sk msg =
+  let mb = message_bits msg in
+  Array.init bits (fun i -> sk.(i).(mb.(i)))
+
+let verify pk msg signature =
+  Array.length signature = bits
+  &&
+  let mb = message_bits msg in
+  let ok = ref true in
+  for i = 0 to bits - 1 do
+    if not (String.equal (Sha256.digest signature.(i)) pk.(i).(mb.(i))) then ok := false
+  done;
+  !ok
+
+let public_key_bytes pk =
+  let buf = Buffer.create (bits * 2 * 32) in
+  Array.iter (fun pair -> Array.iter (Buffer.add_string buf) pair) pk;
+  Buffer.contents buf
+
+let public_key_of_bytes s =
+  if String.length s <> bits * 2 * 32 then invalid_arg "Lamport.public_key_of_bytes: bad length";
+  Array.init bits (fun i ->
+      Array.init 2 (fun b -> String.sub s (((i * 2) + b) * 32) 32))
+
+let public_key_digest pk = Hash.of_raw (Sha256.digest (public_key_bytes pk))
+
+let signature_bytes signature =
+  let buf = Buffer.create (bits * 32) in
+  Array.iter (Buffer.add_string buf) signature;
+  Buffer.contents buf
+
+let signature_of_bytes s =
+  if String.length s <> bits * 32 then invalid_arg "Lamport.signature_of_bytes: bad length";
+  Array.init bits (fun i -> String.sub s (i * 32) 32)

@@ -1,0 +1,43 @@
+(** Lamport one-time signatures over SHA-256.
+
+    The currency layer (lib/currency) needs an unforgeable signature to make
+    "records" into authorized transfers; Lamport's construction needs only
+    the hash function we already trust as a random oracle, so the whole
+    repository keeps a single cryptographic assumption.
+
+    A secret key is 2×256 random 32-byte preimages; the public key is their
+    hashes; a signature on a 256-bit message digest reveals, per bit, the
+    preimage matching that bit. Each key must sign at most once — the
+    currency layer enforces this by making an address unusable after its
+    first spend (which is also why Lamport fits a UTXO-style model so
+    naturally). *)
+
+type secret_key
+type public_key
+type signature
+
+val generate : seed:string -> secret_key * public_key
+(** Deterministic keypair from a seed (domain-separated SHA-256 expansion);
+    distinct seeds give independent keys. *)
+
+val public_of_secret : secret_key -> public_key
+
+val sign : secret_key -> string -> signature
+(** Signs SHA-256(message): the message may be any length. Remember: one
+    signature per key, ever. *)
+
+val verify : public_key -> string -> signature -> bool
+
+val public_key_digest : public_key -> Hash.t
+(** 32-byte commitment to a public key — the "address" form. *)
+
+val public_key_bytes : public_key -> string
+(** Canonical encoding (16 KiB). *)
+
+val public_key_of_bytes : string -> public_key
+(** Raises [Invalid_argument] on malformed input. *)
+
+val signature_bytes : signature -> string
+(** Canonical encoding (8 KiB). *)
+
+val signature_of_bytes : string -> signature

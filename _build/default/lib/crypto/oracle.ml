@@ -1,0 +1,66 @@
+module Rng = Fruitchain_util.Rng
+
+type backend =
+  | Real
+  | Sim of { rng : Rng.t; memo : (string, Hash.t) Hashtbl.t option }
+
+type t = { backend : backend; p : float; pf : float; mutable queries : int }
+
+let real ~p ~pf = { backend = Real; p; pf; queries = 0 }
+
+let sim ?(memo = false) ~p ~pf rng =
+  let memo = if memo then Some (Hashtbl.create 1024) else None in
+  { backend = Sim { rng; memo }; p; pf; queries = 0 }
+
+(* Sample a 64-bit view that is below [threshold p] with probability exactly
+   p: draw the success Bernoulli first, then a uniform value within the
+   success or failure range. *)
+let sample_view rng p =
+  let limit = Hash.threshold p in
+  let success = Rng.bernoulli rng p in
+  if success then
+    if Int64.equal limit 0L then 0L (* p rounded to 0 yet success sampled: impossible *)
+    else if Int64.compare limit 0L < 0 then
+      (* Success range of at least 2^63 values (p >= 1/2): a 63-bit draw
+         stays inside it. *)
+      Int64.shift_right_logical (Rng.bits64 rng) 1
+    else Rng.int64_range rng limit
+  else begin
+    (* Uniform in [limit, 2^64). The failure range has size 2^64 - limit.
+       When that size fits in the signed 63-bit range we sample it exactly;
+       otherwise (small p, huge failure range) we draw a 63-bit offset, which
+       stays inside the range and keeps ample collision entropy. *)
+    let range = Int64.sub 0L limit (* 2^64 - limit, as an unsigned bit pattern *) in
+    if Int64.compare range 0L > 0 then Int64.add limit (Rng.int64_range rng range)
+    else Int64.add limit (Int64.shift_right_logical (Rng.bits64 rng) 1)
+  end
+
+let query t input =
+  t.queries <- t.queries + 1;
+  match t.backend with
+  | Real -> Hash.of_raw (Sha256.digest input)
+  | Sim { rng; memo } ->
+      let block_view = sample_view rng t.p in
+      let fruit_view = sample_view rng t.pf in
+      let h =
+        Hash.of_views ~block_view ~fruit_view ~filler:(Rng.bits64 rng, Rng.bits64 rng)
+      in
+      (match memo with Some tbl -> Hashtbl.replace tbl input h | None -> ());
+      h
+
+let verify t input claimed =
+  match t.backend with
+  | Real -> Hash.equal (Hash.of_raw (Sha256.digest input)) claimed
+  | Sim { memo = Some tbl; _ } -> (
+      match Hashtbl.find_opt tbl input with
+      | Some h -> Hash.equal h claimed
+      | None -> false)
+  | Sim { memo = None; _ } -> true
+
+let queries t = t.queries
+let reset_queries t = t.queries <- 0
+let p t = t.p
+let pf t = t.pf
+let mined_block t h = Hash.meets_block_difficulty h ~p:t.p
+let mined_fruit t h = Hash.meets_fruit_difficulty h ~pf:t.pf
+let is_sim t = match t.backend with Real -> false | Sim _ -> true

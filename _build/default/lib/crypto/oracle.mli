@@ -1,0 +1,62 @@
+(** The random oracle [H] of the execution model (§2.3), with the paper's
+    query accounting.
+
+    The model charges one [H] query per honest party per round and [q]
+    sequential queries per round to an adversary controlling [q] parties,
+    while verification queries [H.ver] are free. Accordingly an oracle
+    carries a counter that {!query} increments and {!verify} does not; the
+    round engine reads and resets it to enforce the budget.
+
+    Two instantiations share this interface:
+
+    - {!real} hashes the canonical serialization with our SHA-256 and
+      compares the digest views against the difficulty thresholds — the
+      protocol as it would be deployed.
+    - {!sim} Bernoulli-samples the two mining outcomes with the exact
+      marginals [p] (block, on the first κ bits) and [p_f] (fruit, on the
+      last κ bits), independently — the 2-for-1 trick of Garay et al. used by
+      the paper — and {e encodes} the sampled outcome into the digest views,
+      so the unmodified threshold checks, and therefore all unmodified
+      validation code, accept exactly the sampled successes. This is what
+      makes million-round experiments affordable.
+
+    With [~memo:true] the simulated oracle remembers input→digest bindings,
+    so {!verify} behaves like a genuine random oracle table; without it
+    {!verify} accepts any previously produced digest shape (structural
+    validation still applies), which is sound for the experiments because no
+    strategy in this repository forges proofs of work. *)
+
+type t
+
+val real : p:float -> pf:float -> t
+(** SHA-256-backed oracle with block hardness [p] and fruit hardness [pf]. *)
+
+val sim : ?memo:bool -> p:float -> pf:float -> Fruitchain_util.Rng.t -> t
+(** Sampling oracle; [memo] defaults to [false]. *)
+
+val query : t -> string -> Hash.t
+(** One proof-of-work attempt on the given serialized header. Counted. *)
+
+val verify : t -> string -> Hash.t -> bool
+(** [H.ver]: does this input evaluate to this digest? Not counted. *)
+
+val queries : t -> int
+(** Mining queries since creation or the last {!reset_queries}. *)
+
+val reset_queries : t -> unit
+
+val p : t -> float
+val pf : t -> float
+
+val mined_block : t -> Hash.t -> bool
+(** [mined_block o h] is [Hash.meets_block_difficulty h ~p:(p o)]. *)
+
+val mined_fruit : t -> Hash.t -> bool
+(** [mined_fruit o h] is [Hash.meets_fruit_difficulty h ~pf:(pf o)]. *)
+
+val is_sim : t -> bool
+(** [true] for the sampling backend. Nodes use this to skip constructing the
+    full oracle pre-image (in particular the Merkle digest of the candidate
+    fruit set) when the backend ignores its input anyway; the digest is then
+    computed only for objects actually mined. This is purely a performance
+    dodge — the protocol logic is identical under both backends. *)

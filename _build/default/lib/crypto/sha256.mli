@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    This is the hash function instantiating the paper's random oracle [H] in
+    "real" mode, and the collision-resistant function [d] (via
+    {!Merkle}). The implementation is pure OCaml over [Int32] words; it is
+    validated against the NIST test vectors in the test suite. *)
+
+type ctx
+(** Incremental hashing context (mutable). *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Absorb bytes. May be called any number of times. *)
+
+val update_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be used afterwards. *)
+
+val digest : string -> string
+(** One-shot: [digest s] is the 32-byte SHA-256 of [s]. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104); used for domain-separated derivations. *)

@@ -1,0 +1,1 @@
+lib/currency/state.ml: Format Fruitchain_chain Fruitchain_crypto Hashtbl Int64 List Option Transfer Types

@@ -1,0 +1,1 @@
+lib/currency/state.mli: Format Fruitchain_chain Fruitchain_crypto Transfer Types

@@ -1,0 +1,1 @@
+lib/currency/transfer.ml: Buffer Char Fruitchain_crypto Int64 List String

@@ -1,0 +1,1 @@
+lib/currency/transfer.mli: Fruitchain_crypto

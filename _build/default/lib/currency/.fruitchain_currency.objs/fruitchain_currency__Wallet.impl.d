@@ -1,0 +1,1 @@
+lib/currency/wallet.ml: Fruitchain_crypto Int64 List Printf State Transfer

@@ -1,0 +1,1 @@
+lib/currency/wallet.mli: Fruitchain_crypto State Transfer

@@ -1,0 +1,99 @@
+module Hash = Fruitchain_crypto.Hash
+module Lamport = Fruitchain_crypto.Lamport
+
+type output = { recipient : Hash.t; amount : int64 }
+
+type t = {
+  sender_key : Lamport.public_key;
+  outputs : output list;
+  signature : Lamport.signature;
+}
+
+let prefix = "xfer:"
+
+let sender_address t = Lamport.public_key_digest t.sender_key
+let total t = List.fold_left (fun acc o -> Int64.add acc o.amount) 0L t.outputs
+
+(* Canonical bytes the signature covers: the outputs only — the key is
+   bound by the address, and covering the outputs prevents redirection. *)
+let signing_payload outputs =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun o ->
+      Buffer.add_string buf (Hash.to_raw o.recipient);
+      for i = 7 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical o.amount (8 * i)) 0xffL)))
+      done)
+    outputs;
+  Buffer.contents buf
+
+let make ~secret ~outputs =
+  if outputs = [] then invalid_arg "Transfer.make: no outputs";
+  List.iter
+    (fun o -> if Int64.compare o.amount 0L <= 0 then invalid_arg "Transfer.make: non-positive amount")
+    outputs;
+  {
+    sender_key = Lamport.public_of_secret secret;
+    outputs;
+    signature = Lamport.sign secret (signing_payload outputs);
+  }
+
+let signature_valid t =
+  t.outputs <> []
+  && List.for_all (fun o -> Int64.compare o.amount 0L > 0) t.outputs
+  && Lamport.verify t.sender_key (signing_payload t.outputs) t.signature
+
+(* Wire format: prefix, u16 output count, outputs, public key, signature. *)
+
+let encode t =
+  let buf = Buffer.create 25_000 in
+  Buffer.add_string buf prefix;
+  let n = List.length t.outputs in
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf (signing_payload t.outputs);
+  Buffer.add_string buf (Lamport.public_key_bytes t.sender_key);
+  Buffer.add_string buf (Lamport.signature_bytes t.signature);
+  Buffer.contents buf
+
+let is_transfer record =
+  String.length record >= String.length prefix
+  && String.sub record 0 (String.length prefix) = prefix
+
+let decode record =
+  if not (is_transfer record) then None
+  else begin
+    try
+      let pos = ref (String.length prefix) in
+      let take n =
+        if !pos + n > String.length record then failwith "short";
+        let s = String.sub record !pos n in
+        pos := !pos + n;
+        s
+      in
+      let count =
+        let hi = Char.code record.[!pos] and lo = Char.code record.[!pos + 1] in
+        pos := !pos + 2;
+        (hi lsl 8) lor lo
+      in
+      if count = 0 || count > 1024 then failwith "bad count";
+      let outputs =
+        List.init count (fun _ ->
+            let recipient = Hash.of_raw (take 32) in
+            let amount =
+              let bytes = take 8 in
+              let acc = ref 0L in
+              String.iter
+                (fun c -> acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code c)))
+                bytes;
+              !acc
+            in
+            { recipient; amount })
+      in
+      let sender_key = Lamport.public_key_of_bytes (take (256 * 2 * 32)) in
+      let signature = Lamport.signature_of_bytes (take (256 * 32)) in
+      if !pos <> String.length record then failwith "trailing";
+      Some { sender_key; outputs; signature }
+    with _ -> None
+  end

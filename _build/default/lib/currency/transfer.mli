@@ -1,0 +1,43 @@
+(** Signed value transfers — the records of the "Bitcoin application".
+
+    A transfer spends the {e entire} balance of one address (Lamport keys
+    are one-time, so partial spends are unsafe: a second signature from the
+    same key leaks preimages) and splits it across outputs — payment plus
+    change to a fresh address, like a Bitcoin transaction consuming a whole
+    UTXO. The spender reveals the public key matching the address and signs
+    the canonical output encoding.
+
+    Transfers serialize to strings and travel as protocol records inside
+    fruits; anything that fails to decode is treated as an opaque record
+    and ignored by the currency layer. *)
+
+module Hash = Fruitchain_crypto.Hash
+module Lamport = Fruitchain_crypto.Lamport
+
+type output = { recipient : Hash.t; amount : int64 }
+
+type t = {
+  sender_key : Lamport.public_key;  (** Revealed at spend time. *)
+  outputs : output list;
+  signature : Lamport.signature;
+}
+
+val sender_address : t -> Hash.t
+val total : t -> int64
+
+val make : secret:Lamport.secret_key -> outputs:output list -> t
+(** Sign the outputs with the sender's (single-use!) key. Raises
+    [Invalid_argument] on empty outputs or non-positive amounts. *)
+
+val signature_valid : t -> bool
+(** Does the signature verify under the revealed key? (Stateless check;
+    balance and double-spend checks live in {!State}.) *)
+
+val encode : t -> string
+(** Record encoding, prefixed ["xfer:"]. ~24 KiB (Lamport keys are bulky —
+    the price of hash-only cryptography). *)
+
+val decode : string -> t option
+(** [None] for records that are not transfers or fail to parse. *)
+
+val is_transfer : string -> bool

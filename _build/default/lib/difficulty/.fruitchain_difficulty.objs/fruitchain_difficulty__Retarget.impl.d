@@ -1,0 +1,1 @@
+lib/difficulty/retarget.ml: Float Fruitchain_util List

@@ -1,0 +1,1 @@
+lib/difficulty/retarget.mli: Fruitchain_util

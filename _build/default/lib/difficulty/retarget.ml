@@ -1,0 +1,74 @@
+module Rng = Fruitchain_util.Rng
+
+type params = { target_interval : float; epoch_length : int; max_adjustment : float }
+
+let make_params ?(epoch_length = 32) ?(max_adjustment = 4.0) ~target_interval () =
+  if target_interval <= 0.0 then invalid_arg "Retarget.make_params: target_interval";
+  if epoch_length <= 0 then invalid_arg "Retarget.make_params: epoch_length";
+  if max_adjustment <= 1.0 then invalid_arg "Retarget.make_params: max_adjustment must be > 1";
+  { target_interval; epoch_length; max_adjustment }
+
+let next_p t ~current_p ~epoch_duration =
+  if epoch_duration <= 0.0 then invalid_arg "Retarget.next_p: epoch_duration must be positive";
+  let expected = t.target_interval *. float_of_int t.epoch_length in
+  (* Slow epoch (duration > expected) means mining is too hard: raise p,
+     mirroring Bitcoin's target *= actual/expected. *)
+  let raw = current_p *. (epoch_duration /. expected) in
+  let lo = current_p /. t.max_adjustment and hi = current_p *. t.max_adjustment in
+  Float.min 1.0 (Float.max (Float.min raw hi) lo)
+
+type power_profile = int -> float
+
+let constant power _round = power
+let step ~before ~after ~at round = if round < at then before else after
+
+let exponential_growth ~initial ~doubling_rounds round =
+  initial *. Float.exp (Float.log 2.0 *. float_of_int round /. doubling_rounds)
+
+let oscillating ~mean ~amplitude ~period round =
+  mean +. (amplitude *. Float.sin (2.0 *. Float.pi *. float_of_int round /. float_of_int period))
+
+type epoch_report = {
+  epoch : int;
+  start_round : int;
+  duration : int;
+  p : float;
+  mean_power : float;
+  mean_interval : float;
+}
+
+let simulate ~rng ~params ~initial_p ~power ~rounds =
+  if initial_p <= 0.0 || initial_p > 1.0 then invalid_arg "Retarget.simulate: initial_p";
+  let reports = ref [] in
+  let p = ref initial_p in
+  let epoch = ref 0 in
+  let epoch_start = ref 0 in
+  let epoch_blocks = ref 0 in
+  let power_acc = ref 0.0 in
+  for round = 0 to rounds - 1 do
+    let w = power round in
+    power_acc := !power_acc +. w;
+    let success = Rng.bernoulli rng (Float.min 1.0 (!p *. w)) in
+    if success then begin
+      incr epoch_blocks;
+      if !epoch_blocks = params.epoch_length then begin
+        let duration = round - !epoch_start + 1 in
+        reports :=
+          {
+            epoch = !epoch;
+            start_round = !epoch_start;
+            duration;
+            p = !p;
+            mean_power = !power_acc /. float_of_int duration;
+            mean_interval = float_of_int duration /. float_of_int params.epoch_length;
+          }
+          :: !reports;
+        p := next_p params ~current_p:!p ~epoch_duration:(float_of_int duration);
+        incr epoch;
+        epoch_start := round + 1;
+        epoch_blocks := 0;
+        power_acc := 0.0
+      end
+    end
+  done;
+  List.rev !reports

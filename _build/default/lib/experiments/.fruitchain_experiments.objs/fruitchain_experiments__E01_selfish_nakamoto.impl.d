@@ -1,0 +1,1 @@
+lib/experiments/e01_selfish_nakamoto.ml: Exp Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e03_fairness_windows.ml: Exp Float Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e05_consistency.ml: Exp Fruitchain_metrics Fruitchain_sim Fruitchain_util List Runs

@@ -1,0 +1,1 @@
+lib/experiments/e07_reward_variance.ml: Exp Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e08_block_overhead.ml: Exp Fruitchain_chain Fruitchain_crypto Fruitchain_util List Printf

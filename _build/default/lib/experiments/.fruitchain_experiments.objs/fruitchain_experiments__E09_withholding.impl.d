@@ -1,0 +1,1 @@
+lib/experiments/e09_withholding.ml: Exp Fruitchain_core Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e10_incentives.ml: Exp Fruitchain_ledger Fruitchain_sim Fruitchain_util Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e11_committee.ml: Array Exp Fruitchain_chain Fruitchain_core Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

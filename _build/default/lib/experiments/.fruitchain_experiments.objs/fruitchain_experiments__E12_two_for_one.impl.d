@@ -1,0 +1,1 @@
+lib/experiments/e12_two_for_one.ml: Array Exp Fruitchain_crypto Fruitchain_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/e13_hybrid_bft.ml: Exp Fruitchain_hybrid Fruitchain_sim Fruitchain_util List Printf Runs

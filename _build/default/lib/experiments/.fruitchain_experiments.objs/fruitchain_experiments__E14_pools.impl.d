@@ -1,0 +1,1 @@
+lib/experiments/e14_pools.ml: Array Exp Float Fruitchain_core Fruitchain_metrics Fruitchain_pool Fruitchain_sim Fruitchain_util Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/e15_retarget.ml: Exp Float Fruitchain_difficulty Fruitchain_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e16_stubborn.ml: Exp Fruitchain_core Fruitchain_metrics Fruitchain_sim Fruitchain_util List Printf Runs

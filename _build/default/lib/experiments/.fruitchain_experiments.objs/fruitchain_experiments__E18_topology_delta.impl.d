@@ -1,0 +1,1 @@
+lib/experiments/e18_topology_delta.ml: Exp Fruitchain_metrics Fruitchain_net Fruitchain_sim Fruitchain_util List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Format Fruitchain_core Fruitchain_util List

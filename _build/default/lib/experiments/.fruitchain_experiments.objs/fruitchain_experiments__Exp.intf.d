@@ -1,0 +1,1 @@
+lib/experiments/exp.mli: Format Fruitchain_core Fruitchain_util

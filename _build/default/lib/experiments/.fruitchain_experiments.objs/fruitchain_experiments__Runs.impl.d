@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Exp Fruitchain_adversary Fruitchain_core Fruitchain_sim

@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Fruitchain_core Fruitchain_sim

@@ -1,0 +1,92 @@
+(* E01 (Figure 1): selfish mining against Nakamoto's blockchain.
+
+   The paper's motivation (§1, citing Eyal–Sirer): a coalition with a
+   minority ρ of the computing power that withholds blocks and controls
+   delivery reaps more than ρ of the block rewards — close to twice its fair
+   share, and almost everything as ρ approaches ½ with full network control
+   (γ = 1). We sweep ρ and γ and report the coalition's share of the blocks
+   in the final canonical chain, together with the honest-mining baseline
+   share measured the same way. *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Trace = Fruitchain_sim.Trace
+module Quality = Fruitchain_metrics.Quality
+module Theory = Fruitchain_metrics.Selfish_theory
+
+let id = "E01"
+let title = "Selfish mining against Nakamoto (block revenue share)"
+
+let claim =
+  "S1/Eyal-Sirer: a minority coalition controlling message delivery gains up to ~2x its \
+   fair share of block rewards by selfish mining; near rho=1/2 it takes (almost) all blocks."
+
+let rhos = [ 0.10; 0.20; 0.25; 0.30; 0.35; 0.40; 0.45 ]
+let gammas = [ 0.0; 0.5; 1.0 ]
+
+let coalition_block_share trace =
+  Quality.adversarial_fraction (Quality.block_shares (Trace.honest_final_chain trace))
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:60_000 in
+  let rhos = match scale with Exp.Full -> rhos | Exp.Quick -> [ 0.25; 0.45 ] in
+  let gammas = match scale with Exp.Full -> gammas | Exp.Quick -> [ 0.5 ] in
+  let params = Exp.default_params () in
+  let table =
+    Table.create
+      ~title:"Coalition share of chain blocks under selfish mining (Nakamoto)"
+      ~columns:
+        [
+          ("rho", Table.Right);
+          ("gamma", Table.Right);
+          ("honest-mining share", Table.Right);
+          ("selfish share", Table.Right);
+          ("Eyal-Sirer closed form", Table.Right);
+          ("gain vs fair", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun rho ->
+      let baseline =
+        let config = Runs.config ~protocol:Config.Nakamoto ~rho ~rounds ~params () in
+        coalition_block_share (Runs.run config ~strategy:Runs.honest_coalition ())
+      in
+      List.iter
+        (fun gamma ->
+          let config = Runs.config ~protocol:Config.Nakamoto ~rho ~rounds ~params () in
+          let share = coalition_block_share (Runs.run config ~strategy:(Runs.selfish ~gamma) ()) in
+          Table.add_row table
+            [
+              Table.f2 rho;
+              Table.f2 gamma;
+              Table.fpct baseline;
+              Table.fpct share;
+              Table.fpct (Theory.revenue ~alpha:rho ~gamma);
+              Table.f2 (share /. rho);
+            ])
+        gammas)
+    rhos;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "fair share = rho; the honest-mining baseline sits at ~rho as a control";
+        "expected shape: share < rho below the profitability threshold at gamma=0, \
+         share > rho above ~1/3 for all gamma, steeply super-linear toward rho=0.45";
+        Printf.sprintf
+          "Eyal-Sirer profitability thresholds (closed form): %.3f at gamma=0, %.3f at \
+           gamma=0.5, %.3f at gamma=1"
+          (Theory.profitability_threshold ~gamma:0.0)
+          (Theory.profitability_threshold ~gamma:0.5)
+          (Theory.profitability_threshold ~gamma:1.0);
+        "simulated shares exceed the closed form at high rho because the execution model \
+         (S2.3) gives the adversary q = rho*n *sequential* queries per round — it can chain \
+         private blocks within a round, the alpha-vs-beta asymmetry the paper itself \
+         highlights; the honest-mining baseline shows the same uplift, so the *gain* tracks \
+         the closed form";
+      ];
+  }

@@ -1,0 +1,82 @@
+(* E05 (Table 2): consistency (Definition 2.3 / Theorem 4.1).
+
+   Honest chains must agree except for O(kappa) trailing blocks, and a
+   party's chain must persist into its own future up to the same depth. We
+   record the worst pairwise divergence and the worst self-rollback across
+   the run under increasing attack strength and network delay, and check
+   them against consistency thresholds. *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Consistency = Fruitchain_metrics.Consistency
+
+let id = "E05"
+let title = "Consistency: divergence and rollback depths under attack"
+
+let claim =
+  "Thm 4.1 (kappa_f-consistency): all honest parties' chains agree except for a bounded \
+   number of trailing blocks, under any minority adversary."
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:80_000 in
+  let params = Exp.default_params () in
+  let cases =
+    match scale with
+    | Exp.Full ->
+        [
+          (0.0, 1, "null");
+          (0.0, 4, "null");
+          (0.25, 2, "selfish");
+          (0.40, 2, "selfish");
+          (0.45, 2, "selfish");
+        ]
+    | Exp.Quick -> [ (0.25, 2, "selfish") ]
+  in
+  let table =
+    Table.create
+      ~title:"Worst-case chain disagreement across the run (blocks)"
+      ~columns:
+        [
+          ("rho", Table.Right);
+          ("delta(net)", Table.Right);
+          ("adversary", Table.Left);
+          ("max pairwise div", Table.Right);
+          ("max self rollback", Table.Right);
+          ("viol(T=8)", Table.Right);
+          ("viol(T=16)", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (rho, delta, kind) ->
+      let config =
+        Runs.config ~protocol:Config.Fruitchain ~rho ~delta ~rounds ~params ~seed:5L ()
+      in
+      let strategy = if kind = "null" then Runs.null_delay else Runs.selfish ~gamma:0.5 in
+      let trace = Runs.run config ~strategy () in
+      let r = Consistency.measure trace in
+      let v8p, v8r = Consistency.violations r ~t0:8 in
+      let v16p, v16r = Consistency.violations r ~t0:16 in
+      Table.add_row table
+        [
+          Table.f2 rho;
+          Table.int delta;
+          kind;
+          Table.int r.Consistency.max_pairwise_divergence;
+          Table.int r.Consistency.max_future_rollback;
+          Table.int (v8p + v8r);
+          Table.int (v16p + v16r);
+        ])
+    cases;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "depths grow with rho and delta but stay far below the chain length — the O(kappa) \
+         trailing-window picture";
+        "a violation count of 0 at T means T-consistency held for the whole run";
+      ];
+  }

@@ -1,0 +1,81 @@
+(* E06 (Table 3): liveness and wait-time (Definition 2.6, Corollary 2.8).
+
+   Records submitted to honest players must become kappa-deep in every
+   honest chain within the wait-time w = (1+delta) * kappa / g0. The engine
+   injects probe records periodically; we compare measured waits against the
+   bound computed from the realized growth rate. *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Params = Fruitchain_core.Params
+module Liveness = Fruitchain_metrics.Liveness
+module Growth = Fruitchain_metrics.Growth
+
+let id = "E06"
+let title = "Liveness: probe confirmation wait-times vs the (1+delta)*kappa/g0 bound"
+
+let claim =
+  "Cor 2.8 analogue: every record input to honest players is kappa-deep in all honest \
+   chains within (1+delta)*kappa/g0 rounds, except with negligible probability."
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:80_000 in
+  let params = Exp.default_params () in
+  let kappa = params.Params.kappa in
+  let cases =
+    match scale with
+    | Exp.Full -> [ (0.0, "null"); (0.25, "selfish"); (0.40, "selfish") ]
+    | Exp.Quick -> [ (0.25, "selfish") ]
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Probe wait-times in rounds (kappa=%d)" kappa)
+      ~columns:
+        [
+          ("rho", Table.Right);
+          ("adversary", Table.Left);
+          ("probes", Table.Right);
+          ("confirmed", Table.Right);
+          ("mean wait", Table.Right);
+          ("max wait", Table.Right);
+          ("bound (d=0.5)", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (rho, kind) ->
+      let config =
+        Runs.config ~protocol:Config.Fruitchain ~rho ~rounds ~params ~seed:6L
+          ~probe_interval:(max 500 (rounds / 50))
+          ()
+      in
+      let strategy = if kind = "null" then Runs.null_delay else Runs.selfish ~gamma:0.5 in
+      let trace = Runs.run config ~strategy () in
+      let live = Liveness.measure trace ~kappa in
+      let g = Growth.measure trace ~span_rounds:(max 2_000 (rounds / 20)) in
+      let bound = 1.5 *. float_of_int kappa /. g.Growth.min_window_rate in
+      Table.add_row table
+        [
+          Table.f2 rho;
+          kind;
+          Table.int (live.Liveness.confirmed + live.Liveness.unconfirmed);
+          Table.int live.Liveness.confirmed;
+          Table.f2 (Liveness.mean_wait live);
+          Table.f2 (Liveness.max_wait live);
+          Table.f2 bound;
+        ])
+    cases;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "probes near the end of a run cannot reach depth kappa and count as unconfirmed; \
+         all earlier probes must confirm";
+        "the bound uses the measured min-window block growth as g0; individual probes \
+         injected late in a mempool epoch can exceed it (they wait for the next honest \
+         fruit carrying them), which is the delta slack of the theorem";
+      ];
+  }

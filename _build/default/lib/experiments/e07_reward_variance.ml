@@ -1,0 +1,75 @@
+(* E07 (Figure 4): reward frequency and variance vs fruit hardness (S6).
+
+   Setting p_f = q * p makes miners earn q times more often at the same
+   expected income, shrinking the income variance a solo miner experiences —
+   the paper's "paid 1000x more often, roughly twice per day instead of once
+   in years", which removes the rationale for mining pools. We sweep q with
+   a fixed block hardness and follow one solo miner; the q = 1 row doubles
+   as the Nakamoto-style baseline (one reward unit per block-scale event). *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Rewards = Fruitchain_metrics.Rewards
+
+let id = "E07"
+let title = "Solo-miner reward frequency and variance vs q = pf/p"
+
+let claim =
+  "S6: with fruit hardness q times the block hardness, a solo miner is rewarded ~q times \
+   more often; income variance over fixed horizons drops accordingly (no need for pools)."
+
+let run ?(scale = Exp.Full) () =
+  let p = 2e-4 in
+  let n = 10 in
+  let qs, rounds_for =
+    match scale with
+    | Exp.Full -> ([ 1; 10; 100; 1000 ], fun q -> if q >= 1000 then 30_000 else 50_000)
+    | Exp.Quick -> ([ 1; 100 ], fun _ -> 10_000)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Solo miner (1/%d of the power) earnings; p=%g fixed, pf=q*p swept" n p)
+      ~columns:
+        [
+          ("q", Table.Right);
+          ("rounds", Table.Right);
+          ("rewards", Table.Right);
+          ("time to first", Table.Right);
+          ("mean interval", Table.Right);
+          ("income CV (20 slices)", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun q ->
+      let rounds = rounds_for q in
+      let params = Exp.default_params ~p ~q:(float_of_int q) ~kappa:8 ~recency_r:4 () in
+      let config =
+        Runs.config ~protocol:Config.Fruitchain ~n ~rho:0.0 ~rounds ~params ~seed:7L ()
+      in
+      let trace = Runs.run config ~strategy:Runs.null_delay () in
+      let s = Rewards.summarize trace ~miner:0 ~slices:20 in
+      Table.add_row table
+        [
+          Table.int q;
+          Table.int rounds;
+          Table.int s.Rewards.rewards;
+          Table.f2 s.Rewards.time_to_first;
+          Table.f2 s.Rewards.mean_interval;
+          Table.f4 s.Rewards.income_cv;
+        ])
+    qs;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "mean interval scales like 1/q; income CV like 1/sqrt(q) — the pool-obsolescence claim";
+        "with Bitcoin's 10-minute blocks, q=1000 turns 'years to first reward' into 'twice \
+         a day', matching the paper's arithmetic";
+      ];
+  }

@@ -1,0 +1,109 @@
+(* E08 (Table 4): fruit metadata overhead in a 1 MB block (S6).
+
+   The paper: allocating 1000 fruits of 80 bytes each costs roughly 8% of a
+   1 MB block. We measure our own codec both ways a deployment could store
+   fruits — full fruit records in the block, or just their 32-byte
+   references with fruits shipped separately — across fruit-per-block
+   counts. This experiment runs the real SHA-256 oracle end to end: fruits
+   are actually mined (at easy difficulty), serialized and validated. *)
+
+module Table = Fruitchain_util.Table
+module Types = Fruitchain_chain.Types
+module Codec = Fruitchain_chain.Codec
+module Validate = Fruitchain_chain.Validate
+module Oracle = Fruitchain_crypto.Oracle
+module Hash = Fruitchain_crypto.Hash
+module Rng = Fruitchain_util.Rng
+
+let id = "E08"
+let title = "Block-space overhead of fruit metadata (1 MB block)"
+
+let claim =
+  "S6: 1000 fruits of ~80B occupy ~8-10% of a 1MB block; that price buys 1000x more \
+   frequent rewards."
+
+let megabyte = 1_000_000.0
+
+(* Mine a real fruit with the SHA-256 backend: repeat nonces until the
+   suffix difficulty (set generously) is met. Records are 32-byte
+   transaction digests, as in the paper's accounting. *)
+let mine_real_fruit oracle rng ~pointer ~record =
+  let rec attempt () =
+    let header =
+      {
+        Types.parent = Types.genesis_hash;
+        pointer;
+        nonce = Rng.bits64 rng;
+        digest = Fruitchain_crypto.Merkle.empty_root;
+        record;
+      }
+    in
+    let hash = Oracle.query oracle (Codec.header_bytes header) in
+    if Oracle.mined_fruit oracle hash then { Types.f_header = header; f_hash = hash; f_prov = None }
+    else attempt ()
+  in
+  attempt ()
+
+let run ?(scale = Exp.Full) () =
+  let counts =
+    match scale with
+    | Exp.Full -> [ 100; 500; 1000; 2000 ]
+    | Exp.Quick -> [ 100; 1000 ]
+  in
+  let oracle = Oracle.real ~p:1.0 ~pf:0.25 in
+  let rng = Rng.of_seed 8L in
+  let sample_count = 64 in
+  let fruits =
+    List.init sample_count (fun i ->
+        mine_real_fruit oracle rng ~pointer:Types.genesis_hash
+          ~record:(Fruitchain_crypto.Sha256.digest (Printf.sprintf "tx-%d" i)))
+  in
+  List.iter (fun f -> assert (Validate.valid_fruit oracle f)) fruits;
+  let fruit_bytes =
+    let sizes = List.map Codec.fruit_wire_size fruits in
+    List.fold_left ( + ) 0 sizes / List.length sizes
+  in
+  let reference_bytes = 32 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fruit-set space in a 1 MB block (measured fruit wire size: %dB; reference: %dB)"
+           fruit_bytes reference_bytes)
+      ~columns:
+        [
+          ("fruits/block", Table.Right);
+          ("full fruits (KB)", Table.Right);
+          ("full overhead", Table.Right);
+          ("refs only (KB)", Table.Right);
+          ("ref overhead", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun count ->
+      let full = float_of_int (count * fruit_bytes) in
+      let refs = float_of_int (count * reference_bytes) in
+      Table.add_row table
+        [
+          Table.int count;
+          Table.f2 (full /. 1000.0);
+          Table.fpct (full /. megabyte);
+          Table.f2 (refs /. 1000.0);
+          Table.fpct (refs /. megabyte);
+        ])
+    counts;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "our wire fruit is bigger than the paper's 80B because it carries a 32B record \
+         digest and explicit header fields; the reference-only representation (fruits \
+         gossiped separately, blocks store references) is the deployment analogue and \
+         lands near the paper's single-digit-percent figure at 1000 fruits";
+        "fruits here were mined and verified with the real SHA-256 oracle";
+      ];
+  }

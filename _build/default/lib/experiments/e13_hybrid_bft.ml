@@ -1,0 +1,87 @@
+(* E13 (Table 8, extension): end-to-end hybrid consensus.
+
+   E11 measured committee composition; this experiment finishes the story
+   by actually running the BFT slot protocol (lib/hybrid) on every sliding
+   committee elected from attacked runs, with the optimal equivocating
+   adversary in the committee. A committee is "unsafe" if the adversary can
+   double-commit any slot — which the protocol permits exactly when its
+   Byzantine seats reach one third. FruitChain committees track 1-rho and
+   stay safe up to rho ~ 1/3; Nakamoto committees inherit the selfish-mining
+   distortion and start failing beyond rho ~ 1/4. *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Hybrid = Fruitchain_hybrid.Hybrid
+
+let id = "E13"
+let title = "End-to-end hybrid consensus: BFT safety on elected committees"
+
+let claim =
+  "S1.3, executed: committees elected from FruitChain segments keep the BFT protocol safe \
+   at adversary fractions where Nakamoto-elected committees are already broken."
+
+let committee_size = 99
+let slots = 33
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:100_000 in
+  let params = Exp.default_params () in
+  let rhos =
+    match scale with Exp.Full -> [ 0.20; 0.25; 0.30; 0.35 ] | Exp.Quick -> [ 0.30 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Committees double-committed by an optimal equivocator (%d seats, %d slots each)"
+           committee_size slots)
+      ~columns:
+        [
+          ("rho", Table.Right);
+          ("nak committees", Table.Right);
+          ("nak unsafe", Table.Right);
+          ("nak stalled slots", Table.Right);
+          ("fc committees", Table.Right);
+          ("fc unsafe", Table.Right);
+          ("fc stalled slots", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun rho ->
+      let run_proto protocol unit =
+        let config = Runs.config ~protocol ~rho ~rounds ~params ~seed:13L () in
+        let trace = Runs.run config ~strategy:(Runs.selfish ~gamma:1.0) () in
+        Hybrid.evaluate trace ~unit ~committee_size ~stride:committee_size
+          ~slots_per_committee:slots ~seed:131L
+      in
+      let nak = run_proto Config.Nakamoto `Blocks in
+      let fc = run_proto Config.Fruitchain `Fruits in
+      Table.add_row table
+        [
+          Table.f2 rho;
+          Table.int nak.Hybrid.committees;
+          Table.fpct
+            (float_of_int nak.Hybrid.unsafe_committees /. float_of_int (max 1 nak.Hybrid.committees));
+          Table.fpct
+            (float_of_int nak.Hybrid.stalled_slots /. float_of_int (max 1 nak.Hybrid.total_slots));
+          Table.int fc.Hybrid.committees;
+          Table.fpct
+            (float_of_int fc.Hybrid.unsafe_committees /. float_of_int (max 1 fc.Hybrid.committees));
+          Table.fpct
+            (float_of_int fc.Hybrid.stalled_slots /. float_of_int (max 1 fc.Hybrid.total_slots));
+        ])
+    rhos;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "unsafe = the committee's Byzantine seats reach 1/3, so the equivocation \
+         double-commits; stalled slots = Byzantine-leader slots a deployment would \
+         view-change past, tracking the adversary's seat share";
+        "the BFT protocol and its optimal adversary are implemented in lib/hybrid/bft.ml";
+      ];
+  }

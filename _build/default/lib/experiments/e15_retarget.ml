@@ -1,0 +1,97 @@
+(* E15 (Table 10, extension): difficulty retargeting under drifting power.
+
+   The paper assumes the mining hardness is "appropriately set" for the
+   network; this experiment quantifies what the standard feedback rule
+   achieves when power drifts. For three power trajectories — a 4x step, a
+   doubling-growth curve, and a +/-50% oscillation — we retarget every 32
+   blocks (clamp 4x) toward a 25-round block interval and report how the
+   realized interval tracks the target over the run. *)
+
+module Table = Fruitchain_util.Table
+module Retarget = Fruitchain_difficulty.Retarget
+module Rng = Fruitchain_util.Rng
+module Stats = Fruitchain_util.Stats
+
+let id = "E15"
+let title = "Difficulty retargeting: block-interval tracking under power drift"
+
+let claim =
+  "Assumption check: 'p is appropriately set' is maintainable online — epoch retargeting \
+   keeps realized block intervals near the target across large power swings."
+
+let target_interval = 25.0
+
+let run ?(scale = Exp.Full) () =
+  let rounds = match scale with Exp.Full -> 400_000 | Exp.Quick -> 80_000 in
+  let params = Retarget.make_params ~target_interval () in
+  let profiles =
+    [
+      ("constant", Retarget.constant 1.0);
+      ("step x4 at mid", Retarget.step ~before:1.0 ~after:4.0 ~at:(rounds / 2));
+      ( "doubling growth",
+        Retarget.exponential_growth ~initial:1.0 ~doubling_rounds:(float_of_int rounds /. 3.0) );
+      ("oscillating +/-50%", Retarget.oscillating ~mean:1.0 ~amplitude:0.5 ~period:(rounds / 4));
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Realized block interval vs target %.0f (epoch %d blocks, clamp 4x, %d rounds)"
+           target_interval params.Retarget.epoch_length rounds)
+      ~columns:
+        [
+          ("power profile", Table.Left);
+          ("epochs", Table.Right);
+          ("mean interval", Table.Right);
+          ("worst epoch", Table.Right);
+          ("last-quarter mean", Table.Right);
+          ("p range", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (name, power) ->
+      let reports =
+        Retarget.simulate ~rng:(Rng.of_seed 15L) ~params ~initial_p:(1.0 /. target_interval)
+          ~power ~rounds
+      in
+      let intervals = Stats.create () in
+      let worst = ref 0.0 in
+      let p_lo = ref infinity and p_hi = ref neg_infinity in
+      List.iter
+        (fun (r : Retarget.epoch_report) ->
+          Stats.add intervals r.Retarget.mean_interval;
+          let err = Float.abs (r.Retarget.mean_interval -. target_interval) in
+          if err > !worst then worst := err;
+          if r.Retarget.p < !p_lo then p_lo := r.Retarget.p;
+          if r.Retarget.p > !p_hi then p_hi := r.Retarget.p)
+        reports;
+      let count = List.length reports in
+      let tail = Stats.create () in
+      List.iteri
+        (fun i (r : Retarget.epoch_report) ->
+          if i >= 3 * count / 4 then Stats.add tail r.Retarget.mean_interval)
+        reports;
+      Table.add_row table
+        [
+          name;
+          Table.int count;
+          Table.f2 (Stats.mean intervals);
+          Table.f2 (target_interval +. !worst);
+          Table.f2 (Stats.mean tail);
+          Printf.sprintf "%s..%s" (Table.fsci !p_lo) (Table.fsci !p_hi);
+        ])
+    profiles;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "'worst epoch' shows the transient after a shock (bounded by the clamp); the \
+         last-quarter mean shows convergence back to target";
+        "under steady growth the interval sits slightly fast — the classic retargeting lag";
+      ];
+  }

@@ -1,0 +1,82 @@
+(* E16 (Table 11, extension): stubborn mining (Nayak et al., the paper's
+   [17]).
+
+   The paper cites stubborn mining as the strengthened family of
+   withholding attacks; fairness must hold against these too. We run the
+   Lead-stubborn and Equal-fork-stubborn variants next to plain SM1,
+   against both protocols, and report the Nakamoto block share (the attack
+   surface) and the FruitChain fruit share (which must stay ~rho). *)
+
+module Table = Fruitchain_util.Table
+module Config = Fruitchain_sim.Config
+module Trace = Fruitchain_sim.Trace
+module Quality = Fruitchain_metrics.Quality
+module Extract = Fruitchain_core.Extract
+
+let id = "E16"
+let title = "Stubborn-mining variants against both protocols"
+
+let claim =
+  "S1/[17]: strengthened withholding (stubborn mining) can out-earn plain selfish mining \
+   on Nakamoto; Thm 4.1 keeps the FruitChain fruit share at ~rho against the entire family."
+
+let strategies gamma =
+  [
+    ("selfish", Runs.selfish ~gamma);
+    ("lead-stubborn", Runs.stubborn ~gamma ~lead:true ~fork:false);
+    ("fork-stubborn", Runs.stubborn ~gamma ~lead:false ~fork:true);
+    ("lead+fork", Runs.stubborn ~gamma ~lead:true ~fork:true);
+  ]
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:80_000 in
+  let params = Exp.default_params () in
+  let gamma = 0.9 in
+  let rhos = match scale with Exp.Full -> [ 0.30; 0.40 ] | Exp.Quick -> [ 0.35 ] in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Coalition shares by strategy (gamma=%g)" gamma)
+      ~columns:
+        [
+          ("rho", Table.Right);
+          ("strategy", Table.Left);
+          ("nakamoto block share", Table.Right);
+          ("fruitchain fruit share", Table.Right);
+          ("fruit gain vs fair", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun (name, strategy) ->
+          let share protocol =
+            let config = Runs.config ~protocol ~rho ~rounds ~params ~seed:16L () in
+            Runs.run config ~strategy ()
+          in
+          let nak =
+            Quality.adversarial_fraction
+              (Quality.block_shares (Trace.honest_final_chain (share Config.Nakamoto)))
+          in
+          let fc =
+            Quality.adversarial_fraction
+              (Quality.fruit_shares
+                 (Extract.fruits_of_chain (Trace.honest_final_chain (share Config.Fruitchain))))
+          in
+          Table.add_row table
+            [ Table.f2 rho; name; Table.fpct nak; Table.fpct fc; Table.f2 (fc /. rho) ])
+        (strategies gamma))
+    rhos;
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "the stubborn variants trade more orphan risk for deeper erasures; at high gamma \
+         they match or beat SM1 on Nakamoto";
+        "the fruit-share column is the theorem at work: one mechanism, robust to the \
+         whole withholding family";
+      ];
+  }

@@ -1,0 +1,36 @@
+module Params = Fruitchain_core.Params
+module Table = Fruitchain_util.Table
+
+type scale = Quick | Full
+
+let rounds scale ~full =
+  match scale with Full -> full | Quick -> max 2_000 (full / 5)
+
+type outcome = {
+  id : string;
+  title : string;
+  claim : string;
+  table : Table.t;
+  notes : string list;
+}
+
+let print fmt o =
+  Format.fprintf fmt "== %s: %s ==@." o.id o.title;
+  Format.fprintf fmt "Claim: %s@.@." o.claim;
+  Table.pp fmt o.table;
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) o.notes;
+  Format.fprintf fmt "@."
+
+let default_n = 20
+let default_delta = 2
+let default_p = 0.002
+
+let default_params ?(q = 10.0) ?(kappa = 8) ?(recency_r = 4) ?(enforce_recency = true)
+    ?(p = default_p) () =
+  Params.make ~recency_r ~enforce_recency ~p ~pf:(p *. q) ~kappa ()
+
+module type EXPERIMENT = sig
+  val id : string
+  val title : string
+  val run : ?scale:scale -> unit -> outcome
+end

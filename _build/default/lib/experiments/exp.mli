@@ -1,0 +1,46 @@
+(** Shared scaffolding for the reproduction experiments E01–E12.
+
+    Every experiment produces an {!outcome}: a titled ASCII table (the
+    paper-shape data), the claim it validates, and free-form notes recording
+    observations the table alone does not show. Experiments accept a
+    {!scale} so the test suite can run them in seconds while the benchmark
+    harness and CLI run the full versions. *)
+
+module Params = Fruitchain_core.Params
+module Table = Fruitchain_util.Table
+
+type scale = Quick | Full
+
+val rounds : scale -> full:int -> int
+(** [full] at [Full]; a fifth of it (at least 2_000) at [Quick]. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  claim : string;  (** What the paper asserts, with its section. *)
+  table : Table.t;
+  notes : string list;
+}
+
+val print : Format.formatter -> outcome -> unit
+
+(** {1 Default simulation parameters}
+
+    All experiments share a base parameterization unless they sweep it:
+    n = 20 parties, Δ = 2, p = 0.002 (a block about every 25 rounds),
+    q = p_f/p = 10, κ = 8, R = 4 (recency window 32 blocks). κ and R are
+    scaled down from deployment values so that runs of 10⁴–10⁵ rounds
+    contain many κ-windows; see DESIGN.md. *)
+
+val default_n : int
+val default_delta : int
+val default_p : float
+
+val default_params : ?q:float -> ?kappa:int -> ?recency_r:int -> ?enforce_recency:bool ->
+  ?p:float -> unit -> Params.t
+
+module type EXPERIMENT = sig
+  val id : string
+  val title : string
+  val run : ?scale:scale -> unit -> outcome
+end

@@ -1,0 +1,34 @@
+let all : (module Exp.EXPERIMENT) list =
+  [
+    (module E01_selfish_nakamoto);
+    (module E02_selfish_fruitchain);
+    (module E03_fairness_windows);
+    (module E04_chain_growth);
+    (module E05_consistency);
+    (module E06_liveness);
+    (module E07_reward_variance);
+    (module E08_block_overhead);
+    (module E09_withholding);
+    (module E10_incentives);
+    (module E11_committee);
+    (module E12_two_for_one);
+    (module E13_hybrid_bft);
+    (module E14_pools);
+    (module E15_retarget);
+    (module E16_stubborn);
+    (module E17_recency_sweep);
+    (module E18_topology_delta);
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun (module E : Exp.EXPERIMENT) -> String.lowercase_ascii E.id = id) all
+
+let ids () = List.map (fun (module E : Exp.EXPERIMENT) -> (E.id, E.title)) all
+
+let run_all ?scale fmt =
+  List.iter
+    (fun (module E : Exp.EXPERIMENT) ->
+      let outcome = E.run ?scale () in
+      Exp.print fmt outcome)
+    all

@@ -1,0 +1,14 @@
+(** The experiment registry: every table and figure of the reproduction,
+    addressable by id for the CLI and iterable for the benchmark harness. *)
+
+val all : (module Exp.EXPERIMENT) list
+(** E01 … E15, in order (E13–E15 are the extension experiments). *)
+
+val find : string -> (module Exp.EXPERIMENT) option
+(** Case-insensitive lookup by id ("e07" finds E07). *)
+
+val ids : unit -> (string * string) list
+(** [(id, title)] pairs for listings. *)
+
+val run_all : ?scale:Exp.scale -> Format.formatter -> unit
+(** Run and print every experiment in order. *)

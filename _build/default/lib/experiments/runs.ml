@@ -1,0 +1,42 @@
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Strategy = Fruitchain_sim.Strategy
+module Params = Fruitchain_core.Params
+module Adversary = Fruitchain_adversary
+
+let config ?(n = Exp.default_n) ?(delta = Exp.default_delta) ?(seed = 1L) ?(probe_interval = 0)
+    ~protocol ~rho ~rounds ~params () =
+  Config.make ~protocol ~n ~rho ~delta ~rounds ~seed ~probe_interval ~params ()
+
+let selfish ~gamma : (module Strategy.S) =
+  (module Adversary.Selfish.Make (struct
+    let gamma = gamma
+    let broadcast_fruits = true
+    let lead_stubborn = false
+    let equal_fork_stubborn = false
+  end))
+
+let stubborn ~gamma ~lead ~fork : (module Strategy.S) =
+  (module Adversary.Selfish.Make (struct
+    let gamma = gamma
+    let broadcast_fruits = true
+    let lead_stubborn = lead
+    let equal_fork_stubborn = fork
+  end))
+
+let withholder ~release_interval : (module Strategy.S) =
+  (module Adversary.Withhold.Make (struct
+    let release_interval = release_interval
+  end))
+
+let fee_sniper ~threshold : (module Strategy.S) =
+  (module Adversary.Fee_snipe.Make (struct
+    let snipe_threshold = threshold
+    let give_up_lead = 2
+  end))
+
+let honest_coalition : (module Strategy.S) = (module Adversary.Honest_coalition.M)
+let null_delay : (module Strategy.S) = (module Adversary.Delays.Null_max)
+
+let run config ~strategy ?workload () = Engine.run ~config ~strategy ?workload ()

@@ -1,0 +1,31 @@
+(** Thin helpers for configuring and launching experiment simulations. *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Strategy = Fruitchain_sim.Strategy
+module Params = Fruitchain_core.Params
+
+val config :
+  ?n:int -> ?delta:int -> ?seed:int64 -> ?probe_interval:int ->
+  protocol:Config.protocol -> rho:float -> rounds:int -> params:Params.t -> unit ->
+  Config.t
+(** {!Exp} defaults for n and Δ; seed defaults to 1. *)
+
+val selfish : gamma:float -> (module Strategy.S)
+(** A selfish-mining strategy module with the given γ (fruits broadcast). *)
+
+val stubborn : gamma:float -> lead:bool -> fork:bool -> (module Strategy.S)
+(** Stubborn-mining variants of {!selfish} (Nayak et al.). *)
+
+val withholder : release_interval:int -> (module Strategy.S)
+
+val fee_sniper : threshold:float -> (module Strategy.S)
+(** Give-up lead fixed at 2. *)
+
+val honest_coalition : (module Strategy.S)
+val null_delay : (module Strategy.S)
+
+val run :
+  Config.t -> strategy:(module Strategy.S) -> ?workload:Engine.workload -> unit ->
+  Trace.t

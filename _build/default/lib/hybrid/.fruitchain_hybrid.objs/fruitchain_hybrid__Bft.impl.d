@@ -1,0 +1,1 @@
+lib/hybrid/bft.ml: Array Committee Fruitchain_util

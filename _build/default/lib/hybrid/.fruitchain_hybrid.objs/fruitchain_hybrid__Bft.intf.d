@@ -1,0 +1,1 @@
+lib/hybrid/bft.mli: Committee Fruitchain_util

@@ -1,0 +1,1 @@
+lib/hybrid/committee.ml: Array Fruitchain_chain Fruitchain_core Fruitchain_sim List Types

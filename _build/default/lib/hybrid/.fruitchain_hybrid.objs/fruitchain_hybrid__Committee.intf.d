@@ -1,0 +1,1 @@
+lib/hybrid/committee.mli: Fruitchain_chain Fruitchain_sim Types

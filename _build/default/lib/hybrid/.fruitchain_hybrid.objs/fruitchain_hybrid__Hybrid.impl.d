@@ -1,0 +1,1 @@
+lib/hybrid/hybrid.ml: Bft Committee Format Fruitchain_sim Fruitchain_util List

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid.mli: Format Fruitchain_sim

@@ -1,0 +1,128 @@
+module Rng = Fruitchain_util.Rng
+
+type slot_outcome = {
+  leader_byzantine : bool;
+  committed_values : int;
+  safety_violated : bool;
+  lively : bool;
+}
+
+(* Values in a slot: at most two are ever in play (the honest value, or the
+   equivocation pair). *)
+type value = A | B
+
+let quorum n = (2 * n / 3) + 1
+
+let seat_is_byzantine (c : Committee.t) i =
+  match c.Committee.seats.(i) with Committee.Byzantine -> true | Committee.Honest _ -> false
+
+let honest_count (c : Committee.t) = Committee.size c - Committee.byzantine_seats c
+
+(* Feasibility of the double-commit: the honest seats must split into two
+   parts that each reach a quorum together with every Byzantine vote. *)
+let attack_feasible ~committee =
+  let n = Committee.size committee in
+  let f = Committee.byzantine_seats committee in
+  let h = n - f in
+  let q = quorum n in
+  h >= 2 * (q - f) && q > f
+  (* q > f: otherwise the byzantine votes alone commit anything, trivially
+     feasible; covered by the first clause when h >= 0. *)
+
+let run_slot ~rng ~committee ~slot =
+  let n = Committee.size committee in
+  if n = 0 then invalid_arg "Bft.run_slot: empty committee";
+  let q = quorum n in
+  let f = Committee.byzantine_seats committee in
+  let leader = slot mod n in
+  let leader_byzantine = seat_is_byzantine committee leader in
+  (* Phase 1 — propose. proposals.(i) = what seat i received. *)
+  let proposals : value option array = Array.make n None in
+  if not leader_byzantine then Array.fill proposals 0 n (Some A)
+  else if attack_feasible ~committee then begin
+    (* Optimal equivocation: give A to the first (q - f) honest seats (just
+       enough for a quorum with byzantine help), B to the rest. Byzantine
+       seats know both values. *)
+    let need = max 0 (q - f) in
+    let given = ref 0 in
+    for i = 0 to n - 1 do
+      if seat_is_byzantine committee i then proposals.(i) <- Some A
+      else if !given < need then begin
+        proposals.(i) <- Some A;
+        incr given
+      end
+      else proposals.(i) <- Some B
+    done
+  end
+  else begin
+    (* Equivocation cannot double-commit: stall instead (deny liveness).
+       Sending nothing at all is the strongest stall. *)
+    ()
+  end;
+  (* Randomize honest tie-breaking order irrelevance: the protocol is
+     deterministic given proposals; rng reserved for future randomized
+     variants but consumed once to keep slot streams independent. *)
+  ignore (Rng.bits64 rng);
+  (* Phase 2 — vote. votes_a/votes_b: how many seats voted for each. An
+     honest seat votes for the proposal it received. Byzantine seats vote
+     optimally for the coalition: they double-vote when their leader is
+     equivocating (to push both halves over the quorum) and withhold
+     otherwise (denying the honest leader their votes — the liveness
+     attack). The protocol is therefore live iff the honest seats alone
+     reach a quorum, i.e. iff f < ceil(n/3), the classical bound. *)
+  let equivocating = leader_byzantine && attack_feasible ~committee in
+  let votes_a = ref 0 and votes_b = ref 0 in
+  for i = 0 to n - 1 do
+    if seat_is_byzantine committee i then begin
+      if equivocating then begin
+        incr votes_a;
+        incr votes_b
+      end
+    end
+    else
+      match proposals.(i) with
+      | Some A -> incr votes_a
+      | Some B -> incr votes_b
+      | None -> ()
+  done;
+  (* Phase 3 — commit. The adversary delivers votes selectively: an honest
+     seat that received value v sees all votes for v (the coalition makes
+     sure of it); it never commits a value it did not receive a proposal
+     for (it cannot verify the leader's signature chain for it). *)
+  let commits_a = ref 0 and commits_b = ref 0 in
+  for i = 0 to n - 1 do
+    if not (seat_is_byzantine committee i) then
+      match proposals.(i) with
+      | Some A when !votes_a >= q -> incr commits_a
+      | Some B when !votes_b >= q -> incr commits_b
+      | Some A | Some B | None -> ()
+  done;
+  let committed_values = (if !commits_a > 0 then 1 else 0) + if !commits_b > 0 then 1 else 0 in
+  {
+    leader_byzantine;
+    committed_values;
+    safety_violated = committed_values > 1;
+    lively = committed_values > 0 && honest_count committee > 0;
+  }
+
+type stats = {
+  slots : int;
+  safety_violations : int;
+  liveness_failures : int;
+  byzantine_leader_slots : int;
+}
+
+let run_slots ~rng ~committee ~slots =
+  let safety = ref 0 and stalls = ref 0 and byz_leader = ref 0 in
+  for slot = 0 to slots - 1 do
+    let o = run_slot ~rng ~committee ~slot in
+    if o.safety_violated then incr safety;
+    if not o.lively then incr stalls;
+    if o.leader_byzantine then incr byz_leader
+  done;
+  {
+    slots;
+    safety_violations = !safety;
+    liveness_failures = !stalls;
+    byzantine_leader_slots = !byz_leader;
+  }

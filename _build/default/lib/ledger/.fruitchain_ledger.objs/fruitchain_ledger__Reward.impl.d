@@ -1,0 +1,1 @@
+lib/ledger/reward.ml: Array Fruitchain_chain Fruitchain_core Fruitchain_sim Hashtbl List Option Tx Types

@@ -1,0 +1,1 @@
+lib/ledger/reward.mli: Fruitchain_sim Hashtbl

@@ -1,0 +1,1 @@
+lib/ledger/tx.ml: Fruitchain_util Hashtbl Printf String

@@ -1,0 +1,91 @@
+open Fruitchain_chain
+module Trace = Fruitchain_sim.Trace
+module Config = Fruitchain_sim.Config
+module Extract = Fruitchain_core.Extract
+
+type payout = { by_miner : (int, float) Hashtbl.t; total : float; units : int }
+
+let miner_payout p miner = Option.value ~default:0.0 (Hashtbl.find_opt p.by_miner miner)
+
+let coalition_payout p ~members =
+  Hashtbl.fold (fun miner v acc -> if members miner then acc +. v else acc) p.by_miner 0.0
+
+(* The reward-carrying unit sequence of the canonical chain: (miner, fee)
+   pairs in ledger order. Fees are credited at a transaction id's first
+   occurrence only. *)
+let units_of_trace trace =
+  let chain = Trace.honest_final_chain trace in
+  let raw =
+    match (Trace.config trace).Config.protocol with
+    | Config.Nakamoto ->
+        List.filter_map
+          (fun (b : Types.block) ->
+            Option.map (fun (p : Types.provenance) -> (p.miner, b.b_header.record)) b.b_prov)
+          chain
+    | Config.Fruitchain ->
+        List.filter_map
+          (fun (f : Types.fruit) ->
+            Option.map (fun (p : Types.provenance) -> (p.miner, f.f_header.record)) f.f_prov)
+          (Extract.fruits_of_chain chain)
+  in
+  let seen = Hashtbl.create 256 in
+  List.map
+    (fun (miner, record) ->
+      match Tx.decode record with
+      | Some tx when not (Hashtbl.mem seen tx.Tx.id) ->
+          Hashtbl.replace seen tx.Tx.id ();
+          (miner, tx.Tx.fee)
+      | Some _ | None -> (miner, 0.0))
+    raw
+
+let credit by_miner miner amount =
+  Hashtbl.replace by_miner miner (Option.value ~default:0.0 (Hashtbl.find_opt by_miner miner) +. amount)
+
+let bitcoin_rule trace ~block_reward =
+  let units = units_of_trace trace in
+  let by_miner = Hashtbl.create 64 in
+  let total = ref 0.0 in
+  List.iter
+    (fun (miner, fee) ->
+      let amount = block_reward +. fee in
+      credit by_miner miner amount;
+      total := !total +. amount)
+    units;
+  { by_miner; total = !total; units = List.length units }
+
+let fruitchain_rule trace ~unit_reward ~segment =
+  if segment <= 0 then invalid_arg "Reward.fruitchain_rule: segment must be positive";
+  let units = Array.of_list (units_of_trace trace) in
+  let n = Array.length units in
+  let by_miner = Hashtbl.create 64 in
+  let total = ref 0.0 in
+  (* The pot of unit i (subsidy + its fees) is split evenly over the
+     [segment] units ending at i — during the initial phase, over the first
+     min(i+1, segment) units, matching the paper's bootstrap convention. *)
+  for i = 0 to n - 1 do
+    let _, fee = units.(i) in
+    let pot = unit_reward +. fee in
+    total := !total +. pot;
+    let lo = max 0 (i - segment + 1) in
+    let share = pot /. float_of_int (i - lo + 1) in
+    for j = lo to i do
+      let miner, _ = units.(j) in
+      credit by_miner miner share
+    done
+  done;
+  { by_miner; total = !total; units = n }
+
+type comparison = { honest_payout : float; deviant_payout : float; gain : float }
+
+let compare_utilities ~honest ~deviant ~rule =
+  let members trace =
+    let config = Trace.config trace in
+    fun miner -> miner >= 0 && Config.is_ever_corrupt config miner
+  in
+  let hc = Trace.config honest and dc = Trace.config deviant in
+  if hc.Config.n <> dc.Config.n || Config.corrupt_count hc <> Config.corrupt_count dc then
+    invalid_arg "Reward.compare_utilities: traces have different coalitions";
+  let honest_payout = coalition_payout (rule honest) ~members:(members honest) in
+  let deviant_payout = coalition_payout (rule deviant) ~members:(members deviant) in
+  let gain = if honest_payout = 0.0 then nan else deviant_payout /. honest_payout in
+  { honest_payout; deviant_payout; gain }

@@ -1,0 +1,1 @@
+lib/metrics/consistency.ml: Array Fruitchain_chain Fruitchain_sim List Store Types

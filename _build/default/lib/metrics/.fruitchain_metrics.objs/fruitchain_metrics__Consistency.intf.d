@@ -1,0 +1,1 @@
+lib/metrics/consistency.mli: Fruitchain_sim

@@ -1,0 +1,1 @@
+lib/metrics/fairness.ml: Array Fruitchain_chain Fruitchain_core Fruitchain_sim List Option Quality Types

@@ -1,0 +1,1 @@
+lib/metrics/fairness.mli: Fruitchain_chain Fruitchain_sim Types

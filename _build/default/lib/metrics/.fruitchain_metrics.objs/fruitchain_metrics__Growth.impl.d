@@ -1,0 +1,1 @@
+lib/metrics/growth.ml: Array Fruitchain_chain Fruitchain_core Fruitchain_sim List Store

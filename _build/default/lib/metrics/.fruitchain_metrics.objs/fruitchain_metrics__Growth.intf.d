@@ -1,0 +1,1 @@
+lib/metrics/growth.mli: Fruitchain_sim

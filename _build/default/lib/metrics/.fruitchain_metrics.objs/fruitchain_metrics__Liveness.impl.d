@@ -1,0 +1,1 @@
+lib/metrics/liveness.ml: Array Float Fruitchain_chain Fruitchain_sim Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/metrics/liveness.mli: Fruitchain_sim

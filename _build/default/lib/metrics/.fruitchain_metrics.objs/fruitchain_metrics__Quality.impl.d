@@ -1,0 +1,1 @@
+lib/metrics/quality.ml: Array Float Fruitchain_chain Fruitchain_core List Option Types

@@ -1,0 +1,1 @@
+lib/metrics/quality.mli: Fruitchain_chain Store Types

@@ -1,0 +1,1 @@
+lib/metrics/rewards.ml: Array Fruitchain_chain Fruitchain_core Fruitchain_sim Fruitchain_util List Types

@@ -1,0 +1,1 @@
+lib/metrics/rewards.mli: Fruitchain_sim

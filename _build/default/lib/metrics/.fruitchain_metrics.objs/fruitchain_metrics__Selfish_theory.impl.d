@@ -1,0 +1,1 @@
+lib/metrics/selfish_theory.ml:

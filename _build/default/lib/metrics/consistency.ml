@@ -1,0 +1,49 @@
+open Fruitchain_chain
+module Trace = Fruitchain_sim.Trace
+module Config = Fruitchain_sim.Config
+
+type report = {
+  max_pairwise_divergence : int;
+  max_future_rollback : int;
+  snapshots : int;
+}
+
+let measure trace =
+  let store = Trace.store trace in
+  let honest = Array.of_list (Trace.honest_parties trace) in
+  let finals = Trace.final_heads trace in
+  let snapshots = Trace.head_snapshots trace in
+  let max_pair = ref 0 and max_roll = ref 0 in
+  List.iter
+    (fun (_round, heads) ->
+      Array.iteri
+        (fun idx i ->
+          let head_i = heads.(i) in
+          let h_i = Store.height store head_i in
+          (* Pairwise: compare with every later honest party in this snapshot. *)
+          for jdx = idx + 1 to Array.length honest - 1 do
+            let j = honest.(jdx) in
+            let head_j = heads.(j) in
+            if not (Types.Hash.equal head_i head_j) then begin
+              let common = Store.common_prefix_height store head_i head_j in
+              let divergence = min h_i (Store.height store head_j) - common in
+              if divergence > !max_pair then max_pair := divergence
+            end
+          done;
+          (* Future self-consistency against the party's own final chain. *)
+          let final = finals.(i) in
+          if not (Types.Hash.equal head_i final) then begin
+            let common = Store.common_prefix_height store head_i final in
+            let rollback = h_i - common in
+            if rollback > !max_roll then max_roll := rollback
+          end)
+        honest)
+    snapshots;
+  {
+    max_pairwise_divergence = !max_pair;
+    max_future_rollback = !max_roll;
+    snapshots = List.length snapshots;
+  }
+
+let violations r ~t0 =
+  ((if r.max_pairwise_divergence > t0 then 1 else 0), if r.max_future_rollback > t0 then 1 else 0)

@@ -1,0 +1,26 @@
+(** Consistency (Def. 2.3): common prefix across parties and future
+    self-consistency, measured on the recorded head snapshots.
+
+    For each snapshot we report the deepest disagreement between any two
+    honest parties' chains (how many trailing blocks one would have to drop
+    to reach the common prefix), and for each (snapshot, final) pair the
+    deepest rollback a party's own chain suffered. T-consistency holds in a
+    run iff both maxima are ≤ T. *)
+
+module Trace = Fruitchain_sim.Trace
+
+type report = {
+  max_pairwise_divergence : int;
+      (** max over snapshots and honest pairs (i, j) of
+          min(h_i, h_j) − common-prefix-height. *)
+  max_future_rollback : int;
+      (** max over snapshots and honest i of
+          h_i(t) − common-prefix-height(head_i(t), final head_i). *)
+  snapshots : int;
+}
+
+val measure : Trace.t -> report
+
+val violations : report -> t0:int -> int * int
+(** [(pairwise, rollback)] — whether each maximum exceeds [t0] (0 or 1 per
+    component); convenient for tabulation. *)

@@ -1,0 +1,53 @@
+module Trace = Fruitchain_sim.Trace
+module Config = Fruitchain_sim.Config
+module Extract = Fruitchain_core.Extract
+open Fruitchain_chain
+
+type report = {
+  mean_rate : float;
+  min_window_rate : float;
+  max_window_rate : float;
+  span_rounds : int;
+}
+
+let measure trace ~span_rounds =
+  let config = Trace.config trace in
+  let interval = config.Config.snapshot_interval in
+  let steps = max 1 ((span_rounds + interval - 1) / interval) in
+  let span_rounds = steps * interval in
+  let honest = Trace.honest_parties trace in
+  let snaps = Array.of_list (Trace.height_snapshots trace) in
+  let count = Array.length snaps in
+  let min_rate = ref infinity and max_rate = ref neg_infinity in
+  for s = 0 to count - 1 - steps do
+    let r0, h0 = snaps.(s) and r1, h1 = snaps.(s + steps) in
+    let dt = float_of_int (r1 - r0) in
+    List.iter
+      (fun i ->
+        let growth = float_of_int (h1.(i) - h0.(i)) /. dt in
+        if growth < !min_rate then min_rate := growth;
+        if growth > !max_rate then max_rate := growth)
+      honest
+  done;
+  let mean_rate =
+    let store = Trace.store trace in
+    let heights =
+      List.map (fun i -> Store.height store (Trace.final_head_of trace ~party:i)) honest
+    in
+    let n = List.length heights in
+    if n = 0 then nan
+    else
+      float_of_int (List.fold_left ( + ) 0 heights)
+      /. float_of_int n /. float_of_int config.Config.rounds
+  in
+  {
+    mean_rate;
+    min_window_rate = (if !min_rate = infinity then nan else !min_rate);
+    max_window_rate = (if !max_rate = neg_infinity then nan else !max_rate);
+    span_rounds;
+  }
+
+let fruit_ledger_rate trace =
+  let chain = Trace.honest_final_chain trace in
+  let fruits = List.length (Extract.fruits_of_chain chain) in
+  float_of_int fruits /. float_of_int (Trace.config trace).Config.rounds

@@ -1,0 +1,27 @@
+(** Chain growth (Def. 2.1), measured on height snapshots.
+
+    For a span of [t] rounds the growth predicate asks that every honest
+    party's chain grew by at least (lower) / at most (upper) T blocks. We
+    slide a window of [span_rounds] across the snapshots and report the
+    extreme per-round rates, to be compared against the paper's
+    g₀ = (1−δ)·(1−ρ)·n·p_f and g₁ = (1+δ)·n·p_f (Theorem 4.1; with p in
+    place of p_f for Π_nak — note the theorem states {e fruit-ledger}
+    growth, while these snapshots measure the underlying blockchain, whose
+    rates are governed by p). *)
+
+module Trace = Fruitchain_sim.Trace
+
+type report = {
+  mean_rate : float;  (** Final height / rounds, averaged over honest parties. *)
+  min_window_rate : float;
+      (** min over honest parties and spans of (growth / span). *)
+  max_window_rate : float;
+  span_rounds : int;
+}
+
+val measure : Trace.t -> span_rounds:int -> report
+(** [span_rounds] is rounded up to a whole number of snapshot intervals. *)
+
+val fruit_ledger_rate : Trace.t -> float
+(** Fruits per round in the canonical honest final ledger — the growth
+    quantity of Theorem 4.1. *)

@@ -1,0 +1,60 @@
+open Fruitchain_chain
+module Trace = Fruitchain_sim.Trace
+module Config = Fruitchain_sim.Config
+
+type report = { confirmed : int; unconfirmed : int; waits : float array }
+
+(* Height of the first block whose contents carry [record], per protocol. *)
+let record_positions trace =
+  let chain = Trace.honest_final_chain trace in
+  let positions = Hashtbl.create 64 in
+  let protocol = (Trace.config trace).Config.protocol in
+  List.iteri
+    (fun height (b : Types.block) ->
+      match protocol with
+      | Config.Nakamoto ->
+          if String.length b.b_header.record > 0 && not (Hashtbl.mem positions b.b_header.record)
+          then Hashtbl.add positions b.b_header.record height
+      | Config.Fruitchain ->
+          List.iter
+            (fun (f : Types.fruit) ->
+              let r = f.f_header.record in
+              if String.length r > 0 && not (Hashtbl.mem positions r) then
+                Hashtbl.add positions r height)
+            b.fruits)
+    chain;
+  positions
+
+(* First snapshot round at which every honest chain has height >= target. *)
+let round_of_height trace =
+  let honest = Trace.honest_parties trace in
+  let snaps = Trace.height_snapshots trace in
+  fun target ->
+    List.find_map
+      (fun (round, heights) ->
+        let all = List.for_all (fun i -> heights.(i) >= target) honest in
+        if all then Some round else None)
+      snaps
+
+let measure trace ~kappa =
+  let positions = record_positions trace in
+  let round_of = round_of_height trace in
+  let confirmed = ref 0 and unconfirmed = ref 0 and waits = ref [] in
+  List.iter
+    (fun (record, input_round) ->
+      match Hashtbl.find_opt positions record with
+      | None -> incr unconfirmed
+      | Some pos -> (
+          match round_of (pos + kappa) with
+          | None -> incr unconfirmed
+          | Some round ->
+              incr confirmed;
+              waits := float_of_int (max 0 (round - input_round)) :: !waits))
+    (Trace.probes trace);
+  { confirmed = !confirmed; unconfirmed = !unconfirmed; waits = Array.of_list !waits }
+
+let max_wait r = if Array.length r.waits = 0 then nan else Array.fold_left Float.max 0.0 r.waits
+
+let mean_wait r =
+  if Array.length r.waits = 0 then nan
+  else Array.fold_left ( +. ) 0.0 r.waits /. float_of_int (Array.length r.waits)

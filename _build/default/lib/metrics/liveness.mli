@@ -1,0 +1,21 @@
+(** Liveness (Def. 2.6): how long until an honest input record sits at least
+    κ blocks deep in every honest chain.
+
+    The engine injects probe records at configured intervals; this module
+    locates each probe in the canonical final chain (inside a fruit for
+    Π_fruit, as a block record for Π_nak) and uses the height snapshots to
+    date the round at which the chain outgrew the probe's position by κ.
+    Waits are compared against the paper's bound w = (1+δ)·κ/g₀. *)
+
+module Trace = Fruitchain_sim.Trace
+
+type report = {
+  confirmed : int;
+  unconfirmed : int;  (** Probes never κ-deep by the end of the run. *)
+  waits : float array;  (** Rounds from input to κ-deep, one per confirmed probe. *)
+}
+
+val measure : Trace.t -> kappa:int -> report
+
+val max_wait : report -> float
+val mean_wait : report -> float

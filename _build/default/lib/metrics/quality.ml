@@ -1,0 +1,59 @@
+open Fruitchain_chain
+module Extract = Fruitchain_core.Extract
+
+type shares = { honest : int; adversarial : int }
+
+let total s = s.honest + s.adversarial
+
+let adversarial_fraction s =
+  let n = total s in
+  if n = 0 then nan else float_of_int s.adversarial /. float_of_int n
+
+let count flags =
+  Array.fold_left
+    (fun acc honest ->
+      if honest then { acc with honest = acc.honest + 1 }
+      else { acc with adversarial = acc.adversarial + 1 })
+    { honest = 0; adversarial = 0 }
+    flags
+
+let honesty_flags_of_blocks chain =
+  chain
+  |> List.filter_map (fun (b : Types.block) ->
+         Option.map (fun (p : Types.provenance) -> p.honest) b.b_prov)
+  |> Array.of_list
+
+let honesty_flags_of_fruits fruits =
+  fruits
+  |> List.filter_map (fun (f : Types.fruit) ->
+         Option.map (fun (p : Types.provenance) -> p.honest) f.f_prov)
+  |> Array.of_list
+
+let block_shares chain = count (honesty_flags_of_blocks chain)
+let fruit_shares fruits = count (honesty_flags_of_fruits fruits)
+let chain_fruit_shares store ~head = fruit_shares (Extract.fruits store ~head)
+
+let worst_window_fraction flags ~window side =
+  let n = Array.length flags in
+  if window <= 0 then invalid_arg "Quality.worst_window_fraction: window must be positive";
+  if n < window then nan
+  else begin
+    (* Sliding count of honest entries. *)
+    let honest_in_window = ref 0 in
+    for i = 0 to window - 1 do
+      if flags.(i) then incr honest_in_window
+    done;
+    let as_fraction honest =
+      match side with
+      | `Honest -> float_of_int honest /. float_of_int window
+      | `Adversarial -> float_of_int (window - honest) /. float_of_int window
+    in
+    let extreme = ref (as_fraction !honest_in_window) in
+    let better a b = match side with `Honest -> Float.min a b | `Adversarial -> Float.max a b in
+    for i = window to n - 1 do
+      if flags.(i) then incr honest_in_window;
+      if flags.(i - window) then decr honest_in_window;
+      extreme := better !extreme (as_fraction !honest_in_window)
+    done;
+    !extreme
+  end

@@ -1,0 +1,34 @@
+(** Chain quality (Def. 2.2) and share accounting.
+
+    Quality is measured over the unit that carries rewards: blocks for
+    Π_nak, fruits of the extracted ledger for Π_fruit. Provenance comes from
+    the simulation annotations; blocks or fruits without provenance (the
+    genesis block) are skipped. *)
+
+open Fruitchain_chain
+
+type shares = { honest : int; adversarial : int }
+
+val total : shares -> int
+val adversarial_fraction : shares -> float
+(** [nan] when empty. *)
+
+val block_shares : Types.block list -> shares
+(** Over a chain's non-genesis blocks. *)
+
+val fruit_shares : Types.fruit list -> shares
+
+val chain_fruit_shares : Store.t -> head:Types.Hash.t -> shares
+(** Over the extracted fruit ledger of the chain at [head]. *)
+
+val worst_window_fraction :
+  bool array -> window:int -> [ `Honest | `Adversarial ] -> float
+(** [worst_window_fraction flags ~window side]: over every consecutive
+    [window]-length segment of [flags] (true = honest), the minimum honest
+    fraction (for [`Honest]) or the {e maximum} adversarial fraction (for
+    [`Adversarial]). [nan] when the sequence is shorter than [window]. O(n). *)
+
+val honesty_flags_of_blocks : Types.block list -> bool array
+(** Provenance honesty per non-genesis block, chain order. *)
+
+val honesty_flags_of_fruits : Types.fruit list -> bool array

@@ -1,0 +1,56 @@
+open Fruitchain_chain
+module Trace = Fruitchain_sim.Trace
+module Config = Fruitchain_sim.Config
+module Extract = Fruitchain_core.Extract
+module Stats = Fruitchain_util.Stats
+
+let reward_rounds trace ~miner =
+  let chain = Trace.honest_final_chain trace in
+  let provs =
+    match (Trace.config trace).Config.protocol with
+    | Config.Nakamoto -> List.filter_map (fun (b : Types.block) -> b.b_prov) chain
+    | Config.Fruitchain ->
+        List.filter_map (fun (f : Types.fruit) -> f.f_prov) (Extract.fruits_of_chain chain)
+  in
+  provs
+  |> List.filter_map (fun (p : Types.provenance) -> if p.miner = miner then Some p.round else None)
+  |> List.sort compare
+
+type summary = {
+  rewards : int;
+  time_to_first : float;
+  mean_interval : float;
+  interval_cv : float;
+  income_cv : float;
+  slices : int;
+}
+
+let summarize trace ~miner ~slices =
+  if slices <= 0 then invalid_arg "Rewards.summarize: slices must be positive";
+  let rounds = reward_rounds trace ~miner in
+  let total_rounds = (Trace.config trace).Config.rounds in
+  let rewards = List.length rounds in
+  let time_to_first = match rounds with [] -> nan | r :: _ -> float_of_int r in
+  let intervals =
+    let rec gaps = function
+      | a :: (b :: _ as rest) -> float_of_int (b - a) :: gaps rest
+      | [ _ ] | [] -> []
+    in
+    gaps rounds
+  in
+  let interval_stats = Stats.of_list intervals in
+  let income = Array.make slices 0.0 in
+  List.iter
+    (fun r ->
+      let slice = min (slices - 1) (r * slices / total_rounds) in
+      income.(slice) <- income.(slice) +. 1.0)
+    rounds;
+  let income_stats = Stats.of_array income in
+  {
+    rewards;
+    time_to_first;
+    mean_interval = Stats.mean interval_stats;
+    interval_cv = Stats.coefficient_of_variation interval_stats;
+    income_cv = Stats.coefficient_of_variation income_stats;
+    slices;
+  }

@@ -1,0 +1,28 @@
+(** Reward timing and variance — the mining-pool analysis of §6.
+
+    A miner "earns" when an object it mined enters the (final, canonical)
+    ledger: a block for Π_nak, a fruit for Π_fruit. We date earnings by
+    mining round and study the per-miner interval process: its mean shrinks
+    like 1/q when the fruit hardness is raised (q = p_f/p), which is the
+    paper's 1000×-more-often claim, and the coefficient of variation of a
+    miner's income over fixed horizons shrinks like 1/√q — the variance
+    reduction that removes the need for pools. *)
+
+module Trace = Fruitchain_sim.Trace
+
+val reward_rounds : Trace.t -> miner:int -> int list
+(** Ascending mining rounds of the miner's in-ledger objects (unit chosen by
+    the run's protocol). *)
+
+type summary = {
+  rewards : int;
+  time_to_first : float;  (** [nan] if never rewarded. *)
+  mean_interval : float;
+  interval_cv : float;  (** Coefficient of variation of inter-reward times. *)
+  income_cv : float;
+      (** CV of per-slice income over [slices] equal time slices — the
+          variance a solo miner actually experiences. *)
+  slices : int;
+}
+
+val summarize : Trace.t -> miner:int -> slices:int -> summary

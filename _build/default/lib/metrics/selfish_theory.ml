@@ -1,0 +1,21 @@
+let revenue ~alpha ~gamma =
+  if alpha < 0.0 || alpha >= 0.5 then invalid_arg "Selfish_theory.revenue: alpha out of [0, 0.5)";
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Selfish_theory.revenue: gamma out of [0, 1]";
+  let a = alpha and g = gamma in
+  let numerator = (a *. (1.0 -. a) ** 2.0 *. ((4.0 *. a) +. (g *. (1.0 -. (2.0 *. a))))) -. (a ** 3.0) in
+  let denominator = 1.0 -. (a *. (1.0 +. ((2.0 -. a) *. a))) in
+  numerator /. denominator
+
+let profitability_threshold ~gamma =
+  (* revenue - alpha is continuous and crosses zero once on (0, 0.5);
+     bisect. *)
+  let f a = revenue ~alpha:a ~gamma -. a in
+  if f 1e-9 > 0.0 then 0.0
+  else begin
+    let lo = ref 1e-9 and hi = ref 0.499999 in
+    for _ = 1 to 60 do
+      let mid = ( !lo +. !hi ) /. 2.0 in
+      if f mid > 0.0 then hi := mid else lo := mid
+    done;
+    ( !lo +. !hi ) /. 2.0
+  end

@@ -1,0 +1,19 @@
+(** Closed-form selfish-mining revenue (Eyal & Sirer, FC'14).
+
+    The SM1 strategy against Nakamoto forms a Markov chain over the private
+    lead whose stationary revenue has the closed form (eq. 8 of the paper)
+
+    R(α, γ) = [ α(1−α)²(4α + γ(1−2α)) − α³ ] / [ 1 − α(1 + (2−α)α) ],
+
+    where α is the coalition's power fraction and γ the fraction of honest
+    power that mines on the coalition's branch during a tie. Experiment E01
+    prints this next to the simulated share; agreement validates both the
+    simulator's network/tie semantics and the strategy implementation. *)
+
+val revenue : alpha:float -> gamma:float -> float
+(** Relative revenue (share of blocks in the long run). Requires
+    [0 <= alpha < 0.5] and [0 <= gamma <= 1]. *)
+
+val profitability_threshold : gamma:float -> float
+(** The smallest α at which [revenue] exceeds α (numerically, to 1e-6):
+    1/3 at γ=0, 1/4 at γ=0.5, 0 at γ=1. *)

@@ -1,0 +1,1 @@
+lib/nakamoto/node.ml: Codec Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_util List Store String Types Validate

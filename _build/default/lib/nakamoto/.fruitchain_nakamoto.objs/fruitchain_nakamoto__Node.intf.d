@@ -1,0 +1,1 @@
+lib/nakamoto/node.mli: Fruitchain_chain Fruitchain_crypto Fruitchain_net Fruitchain_util Store Types

@@ -1,0 +1,80 @@
+open Fruitchain_chain
+module Oracle = Fruitchain_crypto.Oracle
+module Hash = Fruitchain_crypto.Hash
+module Merkle = Fruitchain_crypto.Merkle
+module Rng = Fruitchain_util.Rng
+module Message = Fruitchain_net.Message
+
+type t = { id : int; store : Store.t; rng : Rng.t; mutable head : Hash.t }
+
+let create ~id ~store ~rng = { id; store; rng; head = Types.genesis.b_hash }
+let id t = t.id
+let head t = t.head
+let height t = Store.height t.store t.head
+let chain t = Store.to_list t.store ~head:t.head
+
+let ledger t =
+  List.filter_map
+    (fun (b : Types.block) ->
+      if String.length b.b_header.record = 0 then None else Some b.b_header.record)
+    (chain t)
+
+(* Insert the announced blocks (parent-first, so ordinary extension checks
+   apply one by one), then adopt the head if it is known and strictly
+   longer. A block whose validation fails is dropped together with its
+   descendants, exactly as an honest verifier would drop an invalid chain. *)
+let receive t oracle (msg : Message.t) =
+  match msg.payload with
+  | Message.Fruit_announce _ -> ()
+  | Message.Chain_announce { blocks; head } ->
+      let rec insert = function
+        | [] -> true
+        | (b : Types.block) :: rest ->
+            if Store.mem t.store b.b_hash then insert rest
+            else begin
+              match Validate.valid_extension oracle t.store ~recency:None b with
+              | Ok () ->
+                  Store.add t.store b;
+                  insert rest
+              | Error _ -> false
+            end
+      in
+      let all_inserted = insert blocks in
+      if all_inserted && Store.mem t.store head then begin
+        let current = Store.height t.store t.head in
+        if Store.height t.store head > current then t.head <- head
+      end
+
+let mine t oracle ~round ~record ~honest =
+  let parent = t.head in
+  let header =
+    {
+      Types.parent;
+      pointer = parent;
+      nonce = Rng.bits64 t.rng;
+      digest = Merkle.empty_root;
+      record;
+    }
+  in
+  let hash = Oracle.query oracle (Codec.header_bytes header) in
+  if Oracle.mined_block oracle hash then begin
+    let block =
+      {
+        Types.b_header = header;
+        b_hash = hash;
+        fruits = [];
+        b_prov = Some { Types.miner = t.id; round; honest };
+      }
+    in
+    Store.add t.store block;
+    t.head <- hash;
+    Some block
+  end
+  else None
+
+let step t oracle ~round ~record ~incoming =
+  List.iter (receive t oracle) incoming;
+  match mine t oracle ~round ~record ~honest:true with
+  | None -> []
+  | Some block ->
+      [ Message.chain_announce ~sender:t.id ~sent_at:round ~blocks:[ block ] ~head:block.b_hash () ]

@@ -1,0 +1,1 @@
+lib/net/message.ml: Format Fruitchain_chain List Types

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Fruitchain_util Hashtbl List Message Option

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Fruitchain_util Hashtbl List Queue

@@ -1,0 +1,64 @@
+module Rng = Fruitchain_util.Rng
+
+type schedule = At of int | Uniform_in_window | Next_round | Max_delay
+
+type envelope = { seq : int; message : Message.t }
+
+type t = {
+  n : int;
+  delta : int;
+  (* Per recipient: delivery round -> envelopes (reverse enqueue order). *)
+  inboxes : (int, envelope list) Hashtbl.t array;
+  mutable seq : int;
+  mutable pending : int;
+}
+
+let create ~n ~delta =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  if delta < 1 then invalid_arg "Network.create: delta must be >= 1";
+  { n; delta; inboxes = Array.init n (fun _ -> Hashtbl.create 64); seq = 0; pending = 0 }
+
+let delta t = t.delta
+let n t = t.n
+
+let resolve_round t ~now ~rng = function
+  | At r -> max (now + 1) (min r (now + t.delta))
+  | Uniform_in_window -> now + 1 + Rng.int rng t.delta
+  | Next_round -> now + 1
+  | Max_delay -> now + t.delta
+
+let enqueue t ~recipient ~round message =
+  let inbox = t.inboxes.(recipient) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt inbox round) in
+  Hashtbl.replace inbox round ({ seq = t.seq; message } :: existing);
+  t.seq <- t.seq + 1;
+  t.pending <- t.pending + 1
+
+let send_to t ~now ~recipient ~schedule ~rng message =
+  if recipient < 0 || recipient >= t.n then invalid_arg "Network.send_to: bad recipient";
+  enqueue t ~recipient ~round:(resolve_round t ~now ~rng schedule) message
+
+let broadcast t ~now ?(schedule = fun ~recipient:_ -> Max_delay) ~rng message =
+  for recipient = 0 to t.n - 1 do
+    if recipient <> message.Message.sender then
+      send_to t ~now ~recipient ~schedule:(schedule ~recipient) ~rng message
+  done
+
+let drain t ~round ~recipient =
+  let inbox = t.inboxes.(recipient) in
+  match Hashtbl.find_opt inbox round with
+  | None -> []
+  | Some envelopes ->
+      Hashtbl.remove inbox round;
+      t.pending <- t.pending - List.length envelopes;
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare a.message.Message.priority b.message.Message.priority with
+            | 0 -> compare a.seq b.seq
+            | c -> c)
+          envelopes
+      in
+      List.map (fun e -> e.message) sorted
+
+let pending t = t.pending

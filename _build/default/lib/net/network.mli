@@ -1,0 +1,53 @@
+(** The Δ-bounded message-delivery network of §2.1.
+
+    The adversary is responsible for delivering every broadcast message; it
+    may delay or reorder arbitrarily, subject to the constraint that a
+    message broadcast by an honest player at round [t] has been received by
+    every honest player by round [t + Δ]. This module is that mailbox: a
+    {!broadcast} enqueues one delivery per recipient, each with its own
+    delivery round chosen by the caller (the adversary strategy) and clamped
+    into [\[t+1, t+Δ\]] for honest traffic. Adversarial messages may also be
+    scheduled at [t+1 .. t+Δ] but with {!Message.rushed_priority} to win
+    same-round ordering — the "rushing" capability.
+
+    Inboxes are drained once per round per party; within a round an inbox is
+    sorted by (priority, enqueue sequence), so rushed messages are processed
+    before honest ones that arrive the same round. *)
+
+type t
+
+val create : n:int -> delta:int -> t
+(** [n] parties (indices [0 .. n-1]); honest messages must arrive within
+    [delta] rounds. [delta >= 1]. *)
+
+val delta : t -> int
+val n : t -> int
+
+type schedule =
+  | At of int  (** Absolute delivery round (clamped to the legal window). *)
+  | Uniform_in_window  (** Uniform in [\[t+1, t+Δ\]]. *)
+  | Next_round  (** Round [t+1] — the fastest legal delivery. *)
+  | Max_delay  (** Round [t+Δ] — the slowest legal delivery. *)
+
+val broadcast :
+  t -> now:int -> ?schedule:(recipient:int -> schedule) -> rng:Fruitchain_util.Rng.t ->
+  Message.t -> unit
+(** Enqueue the message for every party (including the sender: the paper's
+    broadcasts are to "all other players", but self-delivery is harmless
+    because nodes are idempotent; we skip the sender for fidelity).
+    [schedule] defaults to [fun ~recipient:_ -> Max_delay], the
+    adversary-pessimal choice under which the paper's bounds are stated. *)
+
+val send_to :
+  t -> now:int -> recipient:int -> schedule:schedule -> rng:Fruitchain_util.Rng.t ->
+  Message.t -> unit
+(** Targeted delivery (the adversary may send different things to different
+    parties; honest players never use this). *)
+
+val drain : t -> round:int -> recipient:int -> Message.t list
+(** All messages due for [recipient] at [round], priority-sorted; removes
+    them. The engine drains every recipient every round, so no delivery is
+    ever skipped. *)
+
+val pending : t -> int
+(** Messages enqueued but not yet drained. *)

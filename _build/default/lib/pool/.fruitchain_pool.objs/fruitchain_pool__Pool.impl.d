@@ -1,0 +1,1 @@
+lib/pool/pool.ml: Array Float Fruitchain_util Printf

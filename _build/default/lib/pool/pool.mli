@@ -1,0 +1,50 @@
+(** Pooled proof-of-work mining — the §6 strawman FruitChain makes obsolete.
+
+    A pool coordinates members who submit {e shares} (partial proofs of
+    work: solutions to the same puzzle at an easier threshold) to prove
+    their effort; full solutions are blocks and belong to the pool, whose
+    operator distributes the reward according to a payout scheme. The two
+    classic schemes are implemented:
+
+    - {e proportional}: on each block, the reward (minus the operator fee)
+      is split over the shares submitted since the previous pool block;
+    - {e pay-per-share}: every share is paid its expected value
+      immediately, [(p_block / p_share) · reward · (1 − fee)]; the operator
+      banks block rewards and absorbs all the variance.
+
+    [Solo] is the no-pool baseline. The simulation is round-based with the
+    same Bernoulli semantics as the protocol oracle: a member with power w
+    finds a share with probability [w · p_share] per round, and any share
+    is independently a block with probability [p_block / p_share] — exactly
+    the nested-threshold structure of real share mining. *)
+
+module Rng = Fruitchain_util.Rng
+
+type scheme =
+  | Solo
+  | Proportional of { fee : float }
+  | Pay_per_share of { fee : float }
+
+val scheme_name : scheme -> string
+
+type member_stats = {
+  payments : int;  (** Number of payout events received. *)
+  total : float;  (** Total income. *)
+  time_to_first : float;  (** Round of first payment; [nan] if never. *)
+  income_cv : float;  (** CV of per-slice income over [slices] slices. *)
+}
+
+type outcome = {
+  members : member_stats array;
+  operator_income : float;  (** Fees (proportional) or block-minus-share margin (PPS). *)
+  operator_cv : float;  (** CV of the operator's per-slice net income. *)
+  blocks : int;  (** Pool (or solo) blocks found. *)
+  shares : int;
+}
+
+val simulate :
+  rng:Rng.t -> scheme:scheme -> member_power:float array -> p_block:float ->
+  share_ratio:float -> rounds:int -> block_reward:float -> slices:int -> outcome
+(** [member_power.(i)] is member i's per-round full-solution probability;
+    [share_ratio = p_share / p_block ≥ 1] sets how much easier shares are.
+    Raises [Invalid_argument] on non-sensical parameters. *)

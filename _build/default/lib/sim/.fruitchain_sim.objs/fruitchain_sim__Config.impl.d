@@ -1,0 +1,1 @@
+lib/sim/config.ml: Float Format Fruitchain_core List

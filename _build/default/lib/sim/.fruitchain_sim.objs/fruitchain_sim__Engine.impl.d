@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_nakamoto Fruitchain_net Fruitchain_util Int64 List Option Printf Store Strategy String Trace Types

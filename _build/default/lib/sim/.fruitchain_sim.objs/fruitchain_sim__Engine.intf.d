@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Config Fruitchain_crypto Fruitchain_util Strategy Trace

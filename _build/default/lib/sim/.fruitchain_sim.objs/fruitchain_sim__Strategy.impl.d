@@ -1,0 +1,1 @@
+lib/sim/strategy.ml: Config Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_net Fruitchain_util Store Trace

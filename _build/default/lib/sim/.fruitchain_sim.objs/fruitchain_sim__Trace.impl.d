@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Config Fruitchain_chain Fruitchain_crypto Fun List Store

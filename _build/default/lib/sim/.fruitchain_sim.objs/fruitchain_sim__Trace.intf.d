@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Config Fruitchain_chain Fruitchain_crypto Store Types

@@ -1,0 +1,28 @@
+(** The round engine: EXEC_Π(A, Z, κ) of §2.1.
+
+    Each round, in order: (1) every honest party drains its inbox, receives
+    its record from the environment, takes its single mining step and hands
+    its broadcasts to the network under the adversary's delivery schedule;
+    (2) the adversary acts with its [q]-query budget, having seen the
+    round's honest broadcasts (rushing); (3) the engine takes the configured
+    measurements. Everything is driven by one master seed. *)
+
+module Rng = Fruitchain_util.Rng
+module Oracle = Fruitchain_crypto.Oracle
+
+type workload = Strategy.workload
+(** The environment's record inputs. The default returns [""] everywhere
+    (pure mining workload); liveness probes are injected on top of it. *)
+
+val run :
+  config:Config.t -> strategy:(module Strategy.S) -> ?workload:workload -> unit ->
+  Trace.t
+(** Runs the execution to completion and returns the trace. The oracle is
+    the sampling backend seeded from [config.seed]; every honest party, the
+    adversary, and the network get independent split streams. *)
+
+val run_with_oracle :
+  config:Config.t -> strategy:(module Strategy.S) -> oracle:Oracle.t ->
+  ?workload:workload -> unit -> Trace.t
+(** Same, but with a caller-provided oracle — used by tests that exercise
+    the real SHA-256 backend end to end. *)

@@ -1,0 +1,62 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+
+type event = {
+  round : int;
+  miner : int;
+  honest : bool;
+  kind : [ `Fruit | `Block ];
+  hash : Hash.t;
+}
+
+type t = {
+  config : Config.t;
+  store : Store.t;
+  mutable events : event list; (* reverse *)
+  mutable height_snapshots : (int * int array) list; (* reverse *)
+  mutable head_snapshots : (int * Hash.t array) list; (* reverse *)
+  mutable probes : (string * int) list; (* reverse *)
+  mutable final_heads : Hash.t array;
+  mutable oracle_queries : int;
+}
+
+let create ~config ~store =
+  {
+    config;
+    store;
+    events = [];
+    height_snapshots = [];
+    head_snapshots = [];
+    probes = [];
+    final_heads = [||];
+    oracle_queries = 0;
+  }
+
+let config t = t.config
+let store t = t.store
+let record_event t e = t.events <- e :: t.events
+let record_heights t ~round hs = t.height_snapshots <- (round, hs) :: t.height_snapshots
+let record_heads t ~round hs = t.head_snapshots <- (round, hs) :: t.head_snapshots
+let record_probe t ~record ~round = t.probes <- (record, round) :: t.probes
+let set_final_heads t heads = t.final_heads <- heads
+let set_oracle_queries t n = t.oracle_queries <- n
+let events t = List.rev t.events
+let height_snapshots t = List.rev t.height_snapshots
+let head_snapshots t = List.rev t.head_snapshots
+let probes t = List.rev t.probes
+let final_heads t = t.final_heads
+let oracle_queries t = t.oracle_queries
+
+let honest_parties t =
+  List.filter
+    (fun i -> not (Config.is_ever_corrupt t.config i))
+    (List.init t.config.Config.n Fun.id)
+
+let final_head_of t ~party =
+  if Array.length t.final_heads = 0 then invalid_arg "Trace.final_head_of: run not finished";
+  t.final_heads.(party)
+
+let honest_final_chain t =
+  match honest_parties t with
+  | [] -> invalid_arg "Trace.honest_final_chain: no honest parties"
+  | i :: _ -> Store.to_list t.store ~head:(final_head_of t ~party:i)

@@ -1,0 +1,1 @@
+lib/spv/light_client.ml: Codec Format Fruitchain_chain Fruitchain_crypto Hashtbl List Store String Types

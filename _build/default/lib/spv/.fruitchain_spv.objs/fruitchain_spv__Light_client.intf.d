@@ -1,0 +1,1 @@
+lib/spv/light_client.mli: Format Fruitchain_chain Fruitchain_crypto Store Types

@@ -1,0 +1,157 @@
+open Fruitchain_chain
+module Hash = Fruitchain_crypto.Hash
+module Oracle = Fruitchain_crypto.Oracle
+module Merkle = Fruitchain_crypto.Merkle
+
+type header = { fields : Types.header; reference : Hash.t }
+
+let header_of_block (b : Types.block) = { fields = b.b_header; reference = b.b_hash }
+
+type entry = { header : header; height : int }
+
+type t = {
+  oracle : Oracle.t;
+  recency : int option;
+  entries : (Hash.t, entry) Hashtbl.t;
+  mutable head : Hash.t;
+  mutable height : int;
+}
+
+let genesis_header = header_of_block Types.genesis
+
+let create ~oracle ~recency =
+  let entries = Hashtbl.create 256 in
+  Hashtbl.replace entries Types.genesis_hash { header = genesis_header; height = 0 };
+  { oracle; recency; entries; head = Types.genesis_hash; height = 0 }
+
+let height t = t.height
+let head t = t.head
+
+type sync_error = Unknown_parent | Bad_pow | Not_longer
+
+let pp_sync_error fmt = function
+  | Unknown_parent -> Format.pp_print_string fmt "parent header unknown"
+  | Bad_pow -> Format.pp_print_string fmt "header fails proof-of-work or reference check"
+  | Not_longer -> Format.pp_print_string fmt "presented chain is not longer"
+
+let header_pow_ok t (h : header) =
+  Hash.equal h.reference Types.genesis_hash
+  || (Oracle.verify t.oracle (Codec.header_bytes h.fields) h.reference
+     && Oracle.mined_block t.oracle h.reference)
+
+let sync t headers =
+  match headers with
+  | [] -> Error Not_longer
+  | first :: _ ->
+      if not (Hashtbl.mem t.entries first.fields.Types.parent) then Error Unknown_parent
+      else begin
+        (* Validate the batch against a staging view before committing. *)
+        let rec walk parent_height staged = function
+          | [] -> Ok (parent_height, staged)
+          | h :: rest ->
+              let linked =
+                match staged with
+                | [] -> true
+                | (prev : header) :: _ -> Hash.equal h.fields.Types.parent prev.reference
+              in
+              if not linked then Error Unknown_parent
+              else if not (header_pow_ok t h) then Error Bad_pow
+              else walk (parent_height + 1) (h :: staged) rest
+        in
+        let base = (Hashtbl.find t.entries first.fields.Types.parent).height in
+        match walk base [] headers with
+        | Error _ as e -> e
+        | Ok (tip_height, staged) ->
+            if tip_height <= t.height then Error Not_longer
+            else begin
+              List.iteri
+                (fun i h ->
+                  Hashtbl.replace t.entries h.reference
+                    { header = h; height = base + i + 1 })
+                headers;
+              ignore staged;
+              t.head <- (List.nth headers (List.length headers - 1)).reference;
+              t.height <- tip_height;
+              Ok ()
+            end
+      end
+
+(* --- Proofs ------------------------------------------------------------ *)
+
+type proof = {
+  fruit : Types.fruit;
+  block_reference : Hash.t;
+  merkle_path : Merkle.proof;
+}
+
+let prove store ~head ~record =
+  let chain = Store.to_list store ~head in
+  List.find_map
+    (fun (b : Types.block) ->
+      let leaves = List.map Codec.fruit_bytes b.fruits in
+      let rec scan i = function
+        | [] -> None
+        | (f : Types.fruit) :: rest ->
+            if String.equal f.f_header.record record then
+              Some { fruit = f; block_reference = b.b_hash; merkle_path = Merkle.proof leaves i }
+            else scan (i + 1) rest
+      in
+      scan 0 b.fruits)
+    chain
+
+type verify_error = Unknown_block | Invalid_fruit | Bad_merkle_path | Stale_fruit | Wrong_record
+
+let pp_verify_error fmt = function
+  | Unknown_block -> Format.pp_print_string fmt "containing block not on the header chain"
+  | Invalid_fruit -> Format.pp_print_string fmt "fruit fails its own proof-of-work"
+  | Bad_merkle_path -> Format.pp_print_string fmt "merkle path does not reach the digest"
+  | Stale_fruit -> Format.pp_print_string fmt "fruit violates recency"
+  | Wrong_record -> Format.pp_print_string fmt "fruit does not carry the claimed record"
+
+(* Is [reference] on the client's best chain, and at which height? *)
+let chain_height_of t reference =
+  match Hashtbl.find_opt t.entries reference with
+  | None -> None
+  | Some entry ->
+      (* Walk down from the head to check membership on the best chain. *)
+      let rec descend h =
+        match Hashtbl.find_opt t.entries h with
+        | None -> None
+        | Some e ->
+            if Hash.equal h reference then Some e.height
+            else if e.height <= entry.height then None
+            else descend e.header.fields.Types.parent
+      in
+      descend t.head
+
+let verify t ~record proof =
+  if not (String.equal proof.fruit.Types.f_header.record record) then Error Wrong_record
+  else
+    match chain_height_of t proof.block_reference with
+    | None -> Error Unknown_block
+    | Some block_height ->
+        let f = proof.fruit in
+        if
+          not
+            (Oracle.verify t.oracle (Codec.header_bytes f.f_header) f.f_hash
+            && Oracle.mined_fruit t.oracle f.f_hash)
+        then Error Invalid_fruit
+        else begin
+          let digest =
+            (Hashtbl.find t.entries proof.block_reference).header.fields.Types.digest
+          in
+          if not (Merkle.verify_proof ~root:digest ~leaf:(Codec.fruit_bytes f) proof.merkle_path)
+          then Error Bad_merkle_path
+          else begin
+            let recent =
+              match t.recency with
+              | None -> true
+              | Some window -> (
+                  match chain_height_of t f.f_header.pointer with
+                  | Some hang ->
+                      hang < block_height && hang >= block_height - window
+                  | None -> false)
+            in
+            if not recent then Error Stale_fruit else Ok (t.height - block_height)
+          end
+        end

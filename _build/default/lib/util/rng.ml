@@ -1,0 +1,67 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand a 64-bit seed into the 256-bit xoshiro
+   state, and to derive split-off seeds. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9e3779b97f4a7c15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  (* xoshiro must not be seeded with the all-zero state; splitmix64 output is
+     zero for at most one of the four draws, so this is already impossible,
+     but we keep the guard as a cheap invariant. *)
+  if Int64.(equal (logor (logor s0 s1) (logor s2 s3)) 0L) then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ?(seed = 0x9e3779b97f4a7c15L) () = of_seed seed
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed (bits64 g)
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let float g =
+  (* Top 53 bits give a uniform dyadic rational in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int64_range g bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64_range: bound must be positive";
+  (* Plain remainder of 63 uniform bits: for the bounds used here (≤ 2^32)
+     the modulo bias is below 2^-31 of the bucket probability, negligible for
+     simulation purposes. *)
+  let r = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.rem r bound
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (int64_range g (Int64.of_int bound))
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let bernoulli g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g < p

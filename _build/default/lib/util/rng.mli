@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the simulator draws from an explicit
+    generator of this type, so that a run is fully determined by its seed.
+    The core generator is xoshiro256++ seeded through splitmix64, which is
+    fast, has a 256-bit state and passes the usual statistical batteries —
+    more than adequate for discrete-event simulation (it is of course not a
+    cryptographic generator; the protocol's hashing lives in
+    {!Fruitchain_crypto}). *)
+
+type t
+(** A mutable generator. Generators are never shared between logical
+    components; use {!split} to derive independent streams. *)
+
+val of_seed : int64 -> t
+(** [of_seed s] creates a generator deterministically from [s]. Distinct
+    seeds yield (for all practical purposes) independent streams. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ()] is [of_seed 0x9e3779b97f4a7c15L]; pass [?seed] to override. *)
+
+val split : t -> t
+(** [split g] derives a fresh generator whose stream is independent of the
+    subsequent output of [g]. [g] advances. Used to give each party,
+    adversary and oracle its own stream so that adding draws to one component
+    does not perturb the others. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state (the two generators then emit the
+    same stream). Useful in tests. *)
+
+val bits64 : t -> int64
+(** Uniform 64 random bits. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. Uses the top 53 bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int64_range : t -> int64 -> int64
+(** [int64_range g bound] is uniform in [\[0, bound)] for positive [bound]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p] (clamped to [\[0, 1\]]). *)

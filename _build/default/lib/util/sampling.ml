@@ -1,0 +1,89 @@
+let geometric g p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Sampling.geometric: need 0 < p <= 1";
+  if p = 1.0 then 0
+  else
+    (* Inversion: floor(log(U) / log(1-p)) has the geometric distribution. *)
+    let u = 1.0 -. Rng.float g in
+    int_of_float (Float.floor (Float.log u /. Float.log (1.0 -. p)))
+
+let normal g ~mean ~std =
+  let u1 = 1.0 -. Rng.float g and u2 = Rng.float g in
+  let r = Float.sqrt (-2.0 *. Float.log u1) in
+  mean +. (std *. r *. Float.cos (2.0 *. Float.pi *. u2))
+
+let binomial g n p =
+  if n < 0 then invalid_arg "Sampling.binomial: negative n";
+  if p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else
+    let variance = float_of_int n *. p *. (1.0 -. p) in
+    if variance > 100.0 then begin
+      let x = normal g ~mean:(float_of_int n *. p) ~std:(Float.sqrt variance) in
+      let k = int_of_float (Float.round x) in
+      if k < 0 then 0 else if k > n then n else k
+    end
+    else if float_of_int n *. p < 32.0 then begin
+      (* Waiting-time method: skip from success to success with geometric
+         gaps; cost is O(np), cheap in this regime. *)
+      let count = ref 0 and i = ref (geometric g p) in
+      while !i < n do
+        incr count;
+        i := !i + 1 + geometric g p
+      done;
+      !count
+    end
+    else begin
+      let count = ref 0 in
+      for _ = 1 to n do
+        if Rng.bernoulli g p then incr count
+      done;
+      !count
+    end
+
+let poisson g lambda =
+  if lambda < 0.0 then invalid_arg "Sampling.poisson: negative lambda";
+  if lambda = 0.0 then 0
+  else if lambda > 30.0 then begin
+    let x = normal g ~mean:lambda ~std:(Float.sqrt lambda) in
+    let k = int_of_float (Float.round x) in
+    if k < 0 then 0 else k
+  end
+  else begin
+    let limit = Float.exp (-.lambda) in
+    let rec loop k prod =
+      let prod = prod *. Rng.float g in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+
+let exponential g rate =
+  if rate <= 0.0 then invalid_arg "Sampling.exponential: rate must be positive";
+  -.Float.log (1.0 -. Rng.float g) /. rate
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Sampling.choose: empty array";
+  a.(Rng.int g (Array.length a))
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Sampling.sample_without_replacement";
+  (* Selection sampling (Knuth 3.4.2 algorithm S): one pass, O(n). *)
+  let remaining = ref k and out = ref [] in
+  for i = 0 to n - 1 do
+    if !remaining > 0 then begin
+      let need = float_of_int !remaining and left = float_of_int (n - i) in
+      if Rng.float g < need /. left then begin
+        out := i :: !out;
+        decr remaining
+      end
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,63 @@
+(** Streaming and batch statistics used by the experiment harness. *)
+
+(** {1 Streaming accumulator} *)
+
+type t
+(** A Welford-style online accumulator: numerically stable mean and variance,
+    plus min/max, in O(1) per observation. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_many : t -> float list -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val std : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+
+val coefficient_of_variation : t -> float
+(** [std / mean]; [nan] when the mean is zero or undefined. *)
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean, [1.96 * std / sqrt count]. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators as if all observations were added to one. *)
+
+(** {1 Batch helpers} *)
+
+val of_list : float list -> t
+val of_array : float array -> t
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0, 1\]], linear interpolation between order
+    statistics; sorts a copy. Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+(** {1 Histogram} *)
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** Equal-width bins on [\[lo, hi)]; values outside are clamped into the
+      first/last bin so mass is never dropped. *)
+
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val total : t -> int
+
+  val bin_mid : t -> int -> float
+  (** Midpoint of bin [i]. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Render as an ASCII bar chart, one line per bin. *)
+end

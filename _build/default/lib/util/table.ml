@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  columns : (string * align) list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ?title ~columns () = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let pp fmt t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) (String.length h) rows)
+      headers
+  in
+  (match t.title with Some title -> Format.fprintf fmt "%s@." title | None -> ());
+  let render_row cells =
+    let padded =
+      List.map2
+        (fun (cell, (_, align)) width -> pad align width cell)
+        (List.combine cells t.columns)
+        widths
+    in
+    Format.fprintf fmt "| %s |@." (String.concat " | " padded)
+  in
+  let rule =
+    let dashes = List.map (fun w -> String.make w '-') widths in
+    "+-" ^ String.concat "-+-" dashes ^ "-+"
+  in
+  Format.fprintf fmt "%s@." rule;
+  render_row headers;
+  Format.fprintf fmt "%s@." rule;
+  List.iter render_row rows;
+  Format.fprintf fmt "%s@." rule
+
+let to_string t = Format.asprintf "%a" pp t
+let fpct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x
+let fsci x = Printf.sprintf "%.3e" x
+let int n = string_of_int n
+
+let csv_escape cell =
+  let needs_quote = String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Stdlib.Buffer.create 256 in
+  let row cells =
+    Stdlib.Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Stdlib.Buffer.add_char buf '\n'
+  in
+  row (List.map fst t.columns);
+  List.iter row (List.rev t.rows);
+  Stdlib.Buffer.contents buf

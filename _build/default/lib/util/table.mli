@@ -1,0 +1,42 @@
+(** ASCII rendering of experiment tables and figure series.
+
+    Every experiment in this repository reports its result through this
+    module so that [bench/main.exe] and the CLI print uniform, diffable
+    output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~columns ()] starts an empty table. Column headers are given with
+    their alignment; numeric columns conventionally use [Right]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity does not match the
+    column count. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders with a header rule and padded cells. *)
+
+val to_string : t -> string
+
+(** {1 Cell formatting helpers} *)
+
+val fpct : float -> string
+(** Percentage with two decimals, e.g. [12.34%]. *)
+
+val f2 : float -> string
+(** Two decimal places. *)
+
+val f4 : float -> string
+(** Four decimal places. *)
+
+val fsci : float -> string
+(** Scientific notation with three significant digits. *)
+
+val int : int -> string
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows, cells quoted when they
+    contain commas, quotes or newlines. The title is not emitted. *)

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Filename Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_util Fun Gen Hashtbl List Printf QCheck QCheck_alcotest String Sys Test

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fruitchain_chain Fruitchain_core Fruitchain_crypto Fruitchain_net Fruitchain_util Int64 List Option Printf String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Float Fruitchain_crypto Fruitchain_util Fun Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest String Test

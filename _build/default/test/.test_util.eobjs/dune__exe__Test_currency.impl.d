@@ -1,0 +1,1 @@
+test/test_currency.ml: Alcotest Bytes Char Fruitchain_chain Fruitchain_crypto Fruitchain_currency Int64 List Printf

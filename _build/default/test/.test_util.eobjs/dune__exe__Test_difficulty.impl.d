@@ -1,0 +1,1 @@
+test/test_difficulty.ml: Alcotest Float Fruitchain_difficulty Fruitchain_util List Printf

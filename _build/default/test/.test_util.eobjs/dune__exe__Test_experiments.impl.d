@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fruitchain_experiments Fruitchain_util List Printf String

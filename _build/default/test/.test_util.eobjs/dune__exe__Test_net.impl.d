@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Fruitchain_chain Fruitchain_net Fruitchain_util Fun List Printf

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Float Fruitchain_pool Fruitchain_util Printf

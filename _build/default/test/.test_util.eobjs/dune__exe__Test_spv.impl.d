@@ -1,0 +1,1 @@
+test/test_spv.ml: Alcotest Fruitchain_chain Fruitchain_crypto Fruitchain_spv Fruitchain_util List Option Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fruitchain_util Fun Gen Int64 List QCheck QCheck_alcotest String Test

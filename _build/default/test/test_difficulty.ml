@@ -1,0 +1,123 @@
+(* Tests for Fruitchain_difficulty: the retarget rule and the power-drift
+   simulation. *)
+
+module Retarget = Fruitchain_difficulty.Retarget
+module Rng = Fruitchain_util.Rng
+module Stats = Fruitchain_util.Stats
+
+let params ?(epoch_length = 32) ?(max_adjustment = 4.0) ?(target_interval = 25.0) () =
+  Retarget.make_params ~epoch_length ~max_adjustment ~target_interval ()
+
+let test_params_validation () =
+  Alcotest.check_raises "bad target" (Invalid_argument "Retarget.make_params: target_interval")
+    (fun () -> ignore (params ~target_interval:0.0 ()));
+  Alcotest.check_raises "bad clamp"
+    (Invalid_argument "Retarget.make_params: max_adjustment must be > 1") (fun () ->
+      ignore (params ~max_adjustment:1.0 ()))
+
+let test_next_p_direction () =
+  let t = params () in
+  (* Expected epoch duration = 25 * 32 = 800 rounds. *)
+  let p = 0.01 in
+  let slow = Retarget.next_p t ~current_p:p ~epoch_duration:1600.0 in
+  let fast = Retarget.next_p t ~current_p:p ~epoch_duration:400.0 in
+  Alcotest.(check (float 1e-12)) "slow epoch raises p (easier)" (p *. 2.0) slow;
+  Alcotest.(check (float 1e-12)) "fast epoch lowers p (harder)" (p /. 2.0) fast
+
+let test_next_p_on_target_is_fixed_point () =
+  let t = params () in
+  Alcotest.(check (float 1e-12)) "fixed point" 0.01
+    (Retarget.next_p t ~current_p:0.01 ~epoch_duration:800.0)
+
+let test_next_p_clamped () =
+  let t = params () in
+  let p = 0.01 in
+  Alcotest.(check (float 1e-12)) "clamped up" (p *. 4.0)
+    (Retarget.next_p t ~current_p:p ~epoch_duration:80_000.0);
+  Alcotest.(check (float 1e-12)) "clamped down" (p /. 4.0)
+    (Retarget.next_p t ~current_p:p ~epoch_duration:8.0)
+
+let test_next_p_capped_at_one () =
+  let t = params () in
+  Alcotest.(check (float 1e-12)) "never above 1" 1.0
+    (Retarget.next_p t ~current_p:0.9 ~epoch_duration:80_000.0)
+
+let test_profiles () =
+  Alcotest.(check (float 1e-12)) "constant" 2.0 (Retarget.constant 2.0 999);
+  let s = Retarget.step ~before:1.0 ~after:3.0 ~at:100 in
+  Alcotest.(check (float 1e-12)) "step before" 1.0 (s 99);
+  Alcotest.(check (float 1e-12)) "step after" 3.0 (s 100);
+  let g = Retarget.exponential_growth ~initial:1.0 ~doubling_rounds:100.0 in
+  Alcotest.(check bool) "doubles" true (Float.abs (g 100 -. 2.0) < 1e-9);
+  let o = Retarget.oscillating ~mean:1.0 ~amplitude:0.5 ~period:100 in
+  Alcotest.(check bool) "peak" true (Float.abs (o 25 -. 1.5) < 1e-9)
+
+let test_simulation_tracks_constant_power () =
+  let reports =
+    Retarget.simulate ~rng:(Rng.of_seed 1L) ~params:(params ()) ~initial_p:(1.0 /. 25.0)
+      ~power:(Retarget.constant 1.0) ~rounds:200_000
+  in
+  Alcotest.(check bool) "many epochs" true (List.length reports > 100);
+  let intervals = Stats.of_list (List.map (fun r -> r.Retarget.mean_interval) reports) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean interval %.1f near 25" (Stats.mean intervals))
+    true
+    (Float.abs (Stats.mean intervals -. 25.0) < 2.0)
+
+let test_simulation_recovers_from_power_step () =
+  (* Power quadruples at the midpoint: intervals crash to ~6, then the rule
+     restores them within a few epochs. *)
+  let rounds = 300_000 in
+  let reports =
+    Retarget.simulate ~rng:(Rng.of_seed 2L) ~params:(params ()) ~initial_p:(1.0 /. 25.0)
+      ~power:(Retarget.step ~before:1.0 ~after:4.0 ~at:(rounds / 2))
+      ~rounds
+  in
+  let late =
+    List.filter (fun r -> r.Retarget.start_round > (rounds / 2) + 20_000) reports
+  in
+  Alcotest.(check bool) "late epochs exist" true (List.length late > 20);
+  let tail = Stats.of_list (List.map (fun r -> r.Retarget.mean_interval) late) in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered to %.1f" (Stats.mean tail))
+    true
+    (Float.abs (Stats.mean tail -. 25.0) < 3.0);
+  (* And p ended roughly 4x lower than it started. *)
+  let first_p = (List.hd reports).Retarget.p in
+  let last_p = (List.hd (List.rev reports)).Retarget.p in
+  Alcotest.(check bool)
+    (Printf.sprintf "p fell ~4x (%.4f -> %.4f)" first_p last_p)
+    true
+    (first_p /. last_p > 2.5 && first_p /. last_p < 6.0)
+
+let test_simulation_epoch_accounting () =
+  let reports =
+    Retarget.simulate ~rng:(Rng.of_seed 3L) ~params:(params ~epoch_length:16 ())
+      ~initial_p:0.05 ~power:(Retarget.constant 1.0) ~rounds:50_000
+  in
+  (* Epoch indices are sequential and durations positive. *)
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) "sequential" i r.Retarget.epoch;
+      Alcotest.(check bool) "duration positive" true (r.Retarget.duration > 0))
+    reports
+
+let () =
+  Alcotest.run "difficulty"
+    [
+      ( "rule",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "direction" `Quick test_next_p_direction;
+          Alcotest.test_case "fixed point" `Quick test_next_p_on_target_is_fixed_point;
+          Alcotest.test_case "clamped" `Quick test_next_p_clamped;
+          Alcotest.test_case "capped at 1" `Quick test_next_p_capped_at_one;
+          Alcotest.test_case "profiles" `Quick test_profiles;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "tracks constant power" `Quick test_simulation_tracks_constant_power;
+          Alcotest.test_case "recovers from step" `Quick test_simulation_recovers_from_power_step;
+          Alcotest.test_case "epoch accounting" `Quick test_simulation_epoch_accounting;
+        ] );
+    ]

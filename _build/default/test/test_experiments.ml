@@ -1,0 +1,87 @@
+(* Tests for Fruitchain_experiments: the registry, and quick-scale runs of
+   every experiment asserting that each produces a well-formed outcome and —
+   for the cheap ones — that the paper-shape assertions hold. *)
+
+module Exp = Fruitchain_experiments.Exp
+module Registry = Fruitchain_experiments.Registry
+module Table = Fruitchain_util.Table
+
+let test_registry_complete () =
+  Alcotest.(check int) "eighteen experiments" 18 (List.length Registry.all);
+  let ids = List.map fst (Registry.ids ()) in
+  List.iteri
+    (fun i id ->
+      Alcotest.(check string) "sequential ids" (Printf.sprintf "E%02d" (i + 1)) id)
+    ids
+
+let test_registry_find () =
+  (match Registry.find "e07" with
+  | Some (module E) -> Alcotest.(check string) "case-insensitive" "E07" E.id
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "unknown" true (Registry.find "E99" = None)
+
+let outcome_nonempty (o : Exp.outcome) =
+  let rendered = Table.to_string o.table in
+  Alcotest.(check bool) (o.id ^ " table renders") true (String.length rendered > 40);
+  Alcotest.(check bool) (o.id ^ " has claim") true (String.length o.claim > 10)
+
+(* Cheap experiments run in full inside the suite. *)
+let test_run_quick id =
+  match Registry.find id with
+  | None -> Alcotest.failf "missing %s" id
+  | Some (module E) -> outcome_nonempty (E.run ~scale:Exp.Quick ())
+
+let test_e08_shape () =
+  match Registry.find "E08" with
+  | None -> Alcotest.fail "missing"
+  | Some (module E) ->
+      let o = E.run ~scale:Exp.Quick () in
+      outcome_nonempty o;
+      (* The reference-only representation of 1000 fruits must be in the
+         low single-digit percent of 1MB. *)
+      let rendered = Table.to_string o.table in
+      Alcotest.(check bool) "mentions 1000 fruits" true
+        (let contains h n =
+           let hn = String.length h and nn = String.length n in
+           let rec scan i = i + nn <= hn && (String.sub h i nn = n || scan (i + 1)) in
+           scan 0
+         in
+         contains rendered "1000")
+
+let test_e12_shape () =
+  match Registry.find "E12" with
+  | None -> Alcotest.fail "missing"
+  | Some (module E) ->
+      let o = E.run ~scale:Exp.Quick () in
+      outcome_nonempty o
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "quick-runs",
+        [
+          Alcotest.test_case "E01 selfish nakamoto" `Slow (fun () -> test_run_quick "E01");
+          Alcotest.test_case "E02 selfish fruitchain" `Slow (fun () -> test_run_quick "E02");
+          Alcotest.test_case "E03 fairness windows" `Slow (fun () -> test_run_quick "E03");
+          Alcotest.test_case "E04 chain growth" `Slow (fun () -> test_run_quick "E04");
+          Alcotest.test_case "E05 consistency" `Slow (fun () -> test_run_quick "E05");
+          Alcotest.test_case "E06 liveness" `Slow (fun () -> test_run_quick "E06");
+          Alcotest.test_case "E07 reward variance" `Slow (fun () -> test_run_quick "E07");
+          Alcotest.test_case "E08 block overhead" `Quick test_e08_shape;
+          Alcotest.test_case "E09 withholding" `Slow (fun () -> test_run_quick "E09");
+          Alcotest.test_case "E10 incentives" `Slow (fun () -> test_run_quick "E10");
+          Alcotest.test_case "E11 committee" `Slow (fun () -> test_run_quick "E11");
+          Alcotest.test_case "E12 two-for-one" `Quick test_e12_shape;
+          Alcotest.test_case "E13 hybrid bft" `Slow (fun () -> test_run_quick "E13");
+          Alcotest.test_case "E14 pools" `Slow (fun () -> test_run_quick "E14");
+          Alcotest.test_case "E15 retargeting" `Slow (fun () -> test_run_quick "E15");
+          Alcotest.test_case "E16 stubborn" `Slow (fun () -> test_run_quick "E16");
+          Alcotest.test_case "E17 recency sweep" `Slow (fun () -> test_run_quick "E17");
+          Alcotest.test_case "E18 topology delta" `Slow (fun () -> test_run_quick "E18");
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* End-to-end integration tests: theorem-level invariants on full
+   simulations, cross-oracle agreement, and the re-inclusion mechanism that
+   makes FruitChain fair. *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Params = Fruitchain_core.Params
+module Extract = Fruitchain_core.Extract
+module Types = Fruitchain_chain.Types
+module Store = Fruitchain_chain.Store
+module Validate = Fruitchain_chain.Validate
+module Oracle = Fruitchain_crypto.Oracle
+module Quality = Fruitchain_metrics.Quality
+module Fairness = Fruitchain_metrics.Fairness
+module Consistency = Fruitchain_metrics.Consistency
+module Growth = Fruitchain_metrics.Growth
+module Adv = Fruitchain_adversary
+module Runs = Fruitchain_experiments.Runs
+
+let params = Params.make ~recency_r:4 ~p:0.004 ~pf:0.04 ~kappa:8 ()
+
+let run ?(protocol = Config.Fruitchain) ?(n = 16) ?(rho = 0.25) ?(rounds = 20_000)
+    ?(seed = 1L) ~strategy () =
+  let config = Config.make ~protocol ~n ~rho ~delta:2 ~rounds ~seed ~params () in
+  Engine.run ~config ~strategy ()
+
+(* Theorem 4.1, empirically, under attack: consistency + growth + fairness
+   must all hold in one and the same execution. *)
+let test_theorem_bundle_under_selfish_attack () =
+  let rho = 0.25 in
+  let trace = run ~rho ~strategy:(Runs.selfish ~gamma:0.5) () in
+  (* Consistency. *)
+  let c = Consistency.measure trace in
+  Alcotest.(check bool) "consistency: bounded trailing disagreement" true
+    (c.Consistency.max_pairwise_divergence <= 2 * params.Params.kappa
+    && c.Consistency.max_future_rollback <= 2 * params.Params.kappa);
+  (* Growth: fruit ledger within the theorem envelope (generous delta). *)
+  let rate = Growth.fruit_ledger_rate trace in
+  let npf = 16.0 *. params.Params.pf in
+  Alcotest.(check bool)
+    (Printf.sprintf "growth: %.3f within [%.3f, %.3f]" rate (0.6 *. (1.0 -. rho) *. npf)
+       (1.2 *. npf))
+    true
+    (rate > 0.6 *. (1.0 -. rho) *. npf && rate < 1.2 *. npf);
+  (* Fairness: full honest set gets at least (1-delta)(1-rho). *)
+  let honest = Trace.honest_parties trace in
+  let r = Fairness.fruit_fairness trace ~subset:honest ~window:500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fairness: min share %.3f >= 0.8 * (1-rho)" r.Fairness.min_share)
+    true
+    (r.Fairness.min_share >= 0.8 *. (1.0 -. rho))
+
+let test_fairness_beats_nakamoto_quality_under_attack () =
+  (* The headline comparison at one glance. *)
+  let rho = 0.4 in
+  let nak = run ~protocol:Config.Nakamoto ~rho ~strategy:(Runs.selfish ~gamma:1.0) () in
+  let fc = run ~protocol:Config.Fruitchain ~rho ~strategy:(Runs.selfish ~gamma:1.0) () in
+  let nak_share = Quality.adversarial_fraction (Quality.block_shares (Trace.honest_final_chain nak)) in
+  let fc_share =
+    Quality.adversarial_fraction
+      (Quality.fruit_shares (Extract.fruits_of_chain (Trace.honest_final_chain fc)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "nakamoto %.3f inflated, fruitchain %.3f near rho" nak_share fc_share)
+    true
+    (nak_share > rho +. 0.08 && Float.abs (fc_share -. rho) < 0.08)
+
+let test_ledger_agreement_across_parties () =
+  (* All honest parties' extracted ledgers agree on a common prefix of at
+     least (shortest - consistency slack). *)
+  let trace = run ~rho:0.25 ~strategy:(Runs.selfish ~gamma:0.5) () in
+  let honest = Trace.honest_parties trace in
+  let store = Trace.store trace in
+  let ledgers =
+    List.map
+      (fun i -> Array.of_list (Extract.ledger store ~head:(Trace.final_head_of trace ~party:i)))
+      honest
+  in
+  match ledgers with
+  | first :: rest ->
+      List.iter
+        (fun other ->
+          let n = min (Array.length first) (Array.length other) in
+          (* Trailing fruits may differ while unconfirmed blocks settle; the
+             prefix must agree. The slack is at most kappa blocks' worth of
+             fruits; bound it loosely by 20 * q. *)
+          let check_upto = max 0 (n - (20 * int_of_float (Params.q params))) in
+          let agree = ref true in
+          for i = 0 to check_upto - 1 do
+            if not (String.equal first.(i) other.(i)) then agree := false
+          done;
+          Alcotest.(check bool) "ledger prefix agreement" true !agree)
+        rest
+  | [] -> Alcotest.fail "no honest parties"
+
+let test_no_duplicate_fruits_in_canonical_chain () =
+  let trace = run ~rho:0.3 ~strategy:(Runs.selfish ~gamma:1.0) () in
+  let chain = Trace.honest_final_chain trace in
+  let all_inclusions =
+    List.concat_map (fun (b : Types.block) -> List.map (fun (f : Types.fruit) -> f.f_hash) b.fruits) chain
+  in
+  let distinct = List.sort_uniq Fruitchain_crypto.Hash.compare all_inclusions in
+  (* Honest miners never double-record; the extracted ledger dedups anyway,
+     but the chain itself should be duplicate-free in these runs. *)
+  Alcotest.(check int) "no duplicate inclusions" (List.length distinct)
+    (List.length all_inclusions)
+
+let test_recency_holds_in_adopted_chain () =
+  let trace = run ~rho:0.3 ~strategy:(Runs.selfish ~gamma:0.5) () in
+  let chain = Trace.honest_final_chain trace in
+  (* Validate the recency rule structurally over the final chain (positions
+     only; PoW is the sim oracle's). *)
+  let positions = Hashtbl.create 256 in
+  List.iteri (fun i (b : Types.block) -> Hashtbl.replace positions b.b_hash i) chain;
+  let window = Params.recency_window params in
+  List.iteri
+    (fun i (b : Types.block) ->
+      List.iter
+        (fun (f : Types.fruit) ->
+          match Hashtbl.find_opt positions f.f_header.pointer with
+          | Some j ->
+              Alcotest.(check bool)
+                (Printf.sprintf "fruit at block %d hangs at %d" i j)
+                true
+                (j < i && j >= i - window)
+          | None -> Alcotest.fail "fruit pointer not on canonical chain")
+        b.fruits)
+    chain
+
+let test_events_match_chain_provenance () =
+  (* Every block in the final chain corresponds to a recorded mining event
+     with the same miner and round. *)
+  let trace = run ~rho:0.25 ~strategy:(Runs.selfish ~gamma:0.5) () in
+  let events = Trace.events trace in
+  let by_hash = Hashtbl.create 1024 in
+  List.iter (fun (e : Trace.event) -> Hashtbl.replace by_hash e.hash e) events;
+  List.iter
+    (fun (b : Types.block) ->
+      match b.b_prov with
+      | None -> () (* genesis *)
+      | Some prov -> (
+          match Hashtbl.find_opt by_hash b.b_hash with
+          | Some e ->
+              Alcotest.(check int) "miner matches" prov.Types.miner e.Trace.miner;
+              Alcotest.(check int) "round matches" prov.Types.round e.Trace.round
+          | None -> Alcotest.fail "block missing from event log"))
+    (Trace.honest_final_chain trace)
+
+let test_fairness_with_adaptive_corruption () =
+  (* Def 3.1's adaptive setting: two initially honest parties defect
+     mid-run. The never-corrupted subset must still earn its fair share of
+     the whole-run ledger, and their pre-defection fruits count as honest
+     (honesty is stamped at mining time). *)
+  let config =
+    Config.make ~protocol:Config.Fruitchain ~n:16 ~rho:0.25 ~delta:2 ~rounds:20_000 ~seed:9L
+      ~corruption_schedule:[ (8_000, 0); (12_000, 1) ]
+      ~params ()
+  in
+  let trace = Engine.run ~config ~strategy:(Runs.selfish ~gamma:0.5) () in
+  let honest = Trace.honest_parties trace in
+  Alcotest.(check int) "two defectors excluded" 10 (List.length honest);
+  (* 10 never-corrupt parties out of 16 = 62.5% of power while honest. The
+     post-defection coalition holds 37.5%, so windows must be large: a
+     released selfish branch can carry a recency-window's worth of hoarded
+     coalition fruits in one batch (the delta-vs-T0 trade-off of Thm 4.1).
+     Overall share must sit near phi; a T=2000 window must stay above a
+     0.6 floor. *)
+  let r = Fairness.fruit_fairness trace ~subset:honest ~window:2_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "overall share %.3f near phi %.3f" r.Fairness.overall_share r.Fairness.phi)
+    true
+    (Float.abs (r.Fairness.overall_share -. r.Fairness.phi) < 0.08);
+  Alcotest.(check bool)
+    (Printf.sprintf "min share %.3f >= 0.6 * phi" r.Fairness.min_share)
+    true
+    (r.Fairness.min_share >= 0.6 *. r.Fairness.phi);
+  (* Defectors' post-corruption output is stamped adversarial. *)
+  let defector_honest_fruits =
+    List.filter
+      (fun (f : Types.fruit) ->
+        match f.f_prov with
+        | Some p -> p.Types.miner = 0 && p.Types.honest && p.Types.round >= 8_000
+        | None -> false)
+      (Extract.fruits_of_chain (Trace.honest_final_chain trace))
+  in
+  Alcotest.(check int) "no honest-stamped fruits after defection" 0
+    (List.length defector_honest_fruits)
+
+let test_real_and_sim_oracle_protocol_agreement () =
+  (* Statistical agreement: with matched (p, pf), the two backends produce
+     similar chain growth (they cannot be bitwise equal). *)
+  let p = 0.05 and pf = 0.2 in
+  let prm = Params.make ~recency_r:4 ~p ~pf ~kappa:2 () in
+  let mk_config seed =
+    Config.make ~protocol:Config.Fruitchain ~n:4 ~rho:0.0 ~delta:1 ~rounds:1_500 ~seed
+      ~params:prm ()
+  in
+  let sim_trace =
+    Engine.run ~config:(mk_config 1L) ~strategy:(module Adv.Delays.Null_max) ()
+  in
+  let real_trace =
+    Engine.run_with_oracle ~config:(mk_config 2L)
+      ~strategy:(module Adv.Delays.Null_max)
+      ~oracle:(Oracle.real ~p ~pf) ()
+  in
+  let h t = List.length (Trace.honest_final_chain t) in
+  let hs = h sim_trace and hr = h real_trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "similar heights: sim %d vs real %d" hs hr)
+    true
+    (float_of_int (abs (hs - hr)) < 0.35 *. float_of_int (max hs hr))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "theorem bundle under attack" `Slow
+            test_theorem_bundle_under_selfish_attack;
+          Alcotest.test_case "fruitchain vs nakamoto headline" `Slow
+            test_fairness_beats_nakamoto_quality_under_attack;
+          Alcotest.test_case "ledger agreement" `Quick test_ledger_agreement_across_parties;
+          Alcotest.test_case "no duplicate inclusions" `Quick
+            test_no_duplicate_fruits_in_canonical_chain;
+          Alcotest.test_case "recency in adopted chain" `Quick test_recency_holds_in_adopted_chain;
+          Alcotest.test_case "events match provenance" `Quick test_events_match_chain_provenance;
+          Alcotest.test_case "fairness with adaptive corruption" `Quick
+            test_fairness_with_adaptive_corruption;
+          Alcotest.test_case "real vs sim oracle agreement" `Quick
+            test_real_and_sim_oracle_protocol_agreement;
+        ] );
+    ]

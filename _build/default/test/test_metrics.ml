@@ -1,0 +1,269 @@
+(* Tests for Fruitchain_metrics on hand-built chains and traces with known
+   ground truth. *)
+
+module Quality = Fruitchain_metrics.Quality
+module Fairness = Fruitchain_metrics.Fairness
+module Consistency = Fruitchain_metrics.Consistency
+module Growth = Fruitchain_metrics.Growth
+module Liveness = Fruitchain_metrics.Liveness
+module Rewards = Fruitchain_metrics.Rewards
+module Config = Fruitchain_sim.Config
+module Trace = Fruitchain_sim.Trace
+module Engine = Fruitchain_sim.Engine
+module Params = Fruitchain_core.Params
+module Types = Fruitchain_chain.Types
+module Store = Fruitchain_chain.Store
+module Codec = Fruitchain_chain.Codec
+module Validate = Fruitchain_chain.Validate
+module Oracle = Fruitchain_crypto.Oracle
+module Rng = Fruitchain_util.Rng
+module Delays = Fruitchain_adversary.Delays
+
+(* --- Hand-built chain helpers ------------------------------------------ *)
+
+let easy = Oracle.real ~p:1.0 ~pf:1.0
+let rng = Rng.of_seed 1L
+
+let prov ~miner ~round ~honest = Some { Types.miner; round; honest }
+
+let mk_fruit ~miner ~round ~honest ~record =
+  let rec go () =
+    let header =
+      {
+        Types.parent = Types.genesis_hash;
+        pointer = Types.genesis_hash;
+        nonce = Rng.bits64 rng;
+        digest = Fruitchain_crypto.Merkle.empty_root;
+        record;
+      }
+    in
+    let hash = Oracle.query easy (Codec.header_bytes header) in
+    if Oracle.mined_fruit easy hash then
+      { Types.f_header = header; f_hash = hash; f_prov = prov ~miner ~round ~honest }
+    else go ()
+  in
+  go ()
+
+let mk_block ~parent ~miner ~round ~honest ?(record = "") fruits =
+  let digest = Validate.fruit_set_digest fruits in
+  let rec go () =
+    let header =
+      { Types.parent; pointer = parent; nonce = Rng.bits64 rng; digest; record }
+    in
+    let hash = Oracle.query easy (Codec.header_bytes header) in
+    if Oracle.mined_block easy hash then
+      { Types.b_header = header; b_hash = hash; fruits; b_prov = prov ~miner ~round ~honest }
+    else go ()
+  in
+  go ()
+
+(* --- Quality ------------------------------------------------------------ *)
+
+let test_shares_counting () =
+  let b1 = mk_block ~parent:Types.genesis_hash ~miner:0 ~round:1 ~honest:true [] in
+  let b2 = mk_block ~parent:b1.Types.b_hash ~miner:9 ~round:2 ~honest:false [] in
+  let b3 = mk_block ~parent:b2.Types.b_hash ~miner:1 ~round:3 ~honest:true [] in
+  let s = Quality.block_shares [ Types.genesis; b1; b2; b3 ] in
+  Alcotest.(check int) "honest" 2 s.Quality.honest;
+  Alcotest.(check int) "adversarial" 1 s.Quality.adversarial;
+  Alcotest.(check (float 1e-9)) "fraction" (1.0 /. 3.0) (Quality.adversarial_fraction s)
+
+let test_shares_empty () =
+  let s = Quality.block_shares [ Types.genesis ] in
+  Alcotest.(check int) "genesis skipped" 0 (Quality.total s);
+  Alcotest.(check bool) "nan fraction" true (Float.is_nan (Quality.adversarial_fraction s))
+
+let test_worst_window () =
+  (* honest pattern: T T F F T T T T *)
+  let flags = [| true; true; false; false; true; true; true; true |] in
+  Alcotest.(check (float 1e-9)) "worst honest over 4" 0.5
+    (Quality.worst_window_fraction flags ~window:4 `Honest);
+  Alcotest.(check (float 1e-9)) "worst adversarial over 4" 0.5
+    (Quality.worst_window_fraction flags ~window:4 `Adversarial);
+  Alcotest.(check (float 1e-9)) "window 2 all-adversarial exists" 1.0
+    (Quality.worst_window_fraction flags ~window:2 `Adversarial);
+  Alcotest.(check bool) "window too large is nan" true
+    (Float.is_nan (Quality.worst_window_fraction flags ~window:9 `Honest))
+
+let test_worst_window_invalid () =
+  Alcotest.check_raises "window=0"
+    (Invalid_argument "Quality.worst_window_fraction: window must be positive") (fun () ->
+      ignore (Quality.worst_window_fraction [| true |] ~window:0 `Honest))
+
+(* --- Fairness ------------------------------------------------------------ *)
+
+let test_min_window_share () =
+  let flags = [| true; false; false; true; true; true |] in
+  Alcotest.(check (float 1e-9)) "min over 3" (1.0 /. 3.0)
+    (Fairness.min_window_share flags ~window:3)
+
+let test_subset_flags () =
+  let f0 = mk_fruit ~miner:0 ~round:1 ~honest:true ~record:"a" in
+  let f1 = mk_fruit ~miner:1 ~round:2 ~honest:true ~record:"b" in
+  let f2 = mk_fruit ~miner:2 ~round:3 ~honest:true ~record:"c" in
+  let flags = Fairness.subset_flags_of_fruits [ f0; f1; f2 ] ~member:(fun m -> m <= 1) in
+  Alcotest.(check (array bool)) "membership" [| true; true; false |] flags
+
+(* A tiny real run for the trace-level fairness APIs. *)
+let small_trace ?(rho = 0.25) ?(probe_interval = 0) () =
+  let params = Params.make ~recency_r:4 ~p:0.01 ~pf:0.05 ~kappa:4 () in
+  let config =
+    Config.make ~protocol:Config.Fruitchain ~n:8 ~rho ~delta:2 ~rounds:3_000 ~seed:5L
+      ~probe_interval ~params ()
+  in
+  Engine.run ~config ~strategy:(module Delays.Null_max) ()
+
+let test_fruit_fairness_full_honest_set () =
+  let trace = small_trace ~rho:0.0 () in
+  let subset = Trace.honest_parties trace in
+  let r = Fairness.fruit_fairness trace ~subset ~window:100 in
+  Alcotest.(check (float 1e-9)) "phi=1" 1.0 r.Fairness.phi;
+  Alcotest.(check (float 1e-9)) "everyone: share 1" 1.0 r.Fairness.overall_share;
+  Alcotest.(check (float 1e-9)) "min share 1" 1.0 r.Fairness.min_share;
+  Alcotest.(check (float 1e-9)) "floor" 0.8 (r.Fairness.fair_floor 0.2)
+
+let test_fairness_rejects_corrupt_subset () =
+  let trace = small_trace ~rho:0.25 () in
+  Alcotest.check_raises "corrupt member"
+    (Invalid_argument "Fairness: subset members must be honest parties") (fun () ->
+      ignore (Fairness.fruit_fairness trace ~subset:[ 7 ] ~window:10))
+
+(* --- Consistency (hand-built trace) -------------------------------------- *)
+
+let test_consistency_divergence () =
+  let params = Params.make ~recency_r:4 ~p:0.01 ~pf:0.05 ~kappa:4 () in
+  let config =
+    Config.make ~protocol:Config.Fruitchain ~n:2 ~rho:0.0 ~delta:2 ~rounds:10 ~seed:1L ~params ()
+  in
+  let store = Store.create () in
+  let trace = Trace.create ~config ~store in
+  (* Trunk of 3 blocks; a fork of length 2 off block 1. *)
+  let b1 = mk_block ~parent:Types.genesis_hash ~miner:0 ~round:1 ~honest:true [] in
+  let b2 = mk_block ~parent:b1.Types.b_hash ~miner:0 ~round:2 ~honest:true [] in
+  let b3 = mk_block ~parent:b2.Types.b_hash ~miner:0 ~round:3 ~honest:true [] in
+  let c2 = mk_block ~parent:b1.Types.b_hash ~miner:1 ~round:2 ~honest:true [] in
+  let c3 = mk_block ~parent:c2.Types.b_hash ~miner:1 ~round:3 ~honest:true [] in
+  List.iter (Store.add store) [ b1; b2; b3; c2; c3 ];
+  (* Snapshot: party 0 on b3 (h=3), party 1 on c3 (h=3); common height 1 →
+     divergence 2. Final: both on b3 → party 1 rolled back 2. *)
+  Trace.record_heads trace ~round:5 [| b3.Types.b_hash; c3.Types.b_hash |];
+  Trace.set_final_heads trace [| b3.Types.b_hash; b3.Types.b_hash |];
+  let r = Consistency.measure trace in
+  Alcotest.(check int) "pairwise divergence" 2 r.Consistency.max_pairwise_divergence;
+  Alcotest.(check int) "future rollback" 2 r.Consistency.max_future_rollback;
+  Alcotest.(check (pair int int)) "violations at t0=1" (1, 1) (Consistency.violations r ~t0:1);
+  Alcotest.(check (pair int int)) "no violations at t0=2" (0, 0) (Consistency.violations r ~t0:2)
+
+let test_consistency_agreement_is_zero () =
+  let trace = small_trace ~rho:0.0 () in
+  let r = Consistency.measure trace in
+  Alcotest.(check bool) "tiny divergence in benign run" true
+    (r.Consistency.max_pairwise_divergence <= 2)
+
+(* --- Growth ---------------------------------------------------------------- *)
+
+let test_growth_rates () =
+  let trace = small_trace ~rho:0.0 () in
+  let g = Growth.measure trace ~span_rounds:500 in
+  (* n*p = 0.08; delivery delays discount the effective rate. *)
+  Alcotest.(check bool) "mean in plausible band" true
+    (g.Growth.mean_rate > 0.02 && g.Growth.mean_rate < 0.09);
+  Alcotest.(check bool) "min <= mean <= max" true
+    (g.Growth.min_window_rate <= g.Growth.mean_rate +. 1e-9
+    && g.Growth.mean_rate <= g.Growth.max_window_rate +. 1e-9)
+
+let test_fruit_ledger_rate () =
+  let trace = small_trace ~rho:0.0 () in
+  let rate = Growth.fruit_ledger_rate trace in
+  (* n*pf = 0.4 *)
+  Alcotest.(check bool) "near n*pf" true (Float.abs (rate -. 0.4) < 0.08)
+
+(* --- Liveness ---------------------------------------------------------------- *)
+
+let test_liveness_confirms_probes () =
+  let trace = small_trace ~rho:0.0 ~probe_interval:600 () in
+  let r = Liveness.measure trace ~kappa:4 in
+  Alcotest.(check bool) "most probes confirm" true (r.Liveness.confirmed >= 4);
+  Alcotest.(check bool) "waits positive" true
+    (Array.for_all (fun w -> w >= 0.0) r.Liveness.waits);
+  Alcotest.(check bool) "mean <= max" true
+    (Liveness.mean_wait r <= Liveness.max_wait r +. 1e-9)
+
+let test_liveness_empty () =
+  let trace = small_trace ~rho:0.0 () in
+  let r = Liveness.measure trace ~kappa:4 in
+  Alcotest.(check int) "no probes configured" 0 (r.Liveness.confirmed + r.Liveness.unconfirmed)
+
+(* --- Rewards ---------------------------------------------------------------- *)
+
+let test_reward_rounds_sorted_and_filtered () =
+  let trace = small_trace ~rho:0.0 () in
+  let rounds_list = Rewards.reward_rounds trace ~miner:0 in
+  Alcotest.(check bool) "sorted" true (List.sort compare rounds_list = rounds_list);
+  Alcotest.(check bool) "non-empty" true (rounds_list <> []);
+  (* Sum over miners = total ledger fruits. *)
+  let total =
+    List.fold_left
+      (fun acc m -> acc + List.length (Rewards.reward_rounds trace ~miner:m))
+      0
+      (List.init 8 Fun.id)
+  in
+  let fruits =
+    List.length (Fruitchain_core.Extract.fruits_of_chain (Trace.honest_final_chain trace))
+  in
+  Alcotest.(check int) "partition of the ledger" fruits total
+
+let test_reward_summary () =
+  let trace = small_trace ~rho:0.0 () in
+  let s = Rewards.summarize trace ~miner:0 ~slices:10 in
+  Alcotest.(check bool) "rewards counted" true (s.Rewards.rewards > 10);
+  Alcotest.(check bool) "first reward round recorded" true (s.Rewards.time_to_first >= 0.0);
+  Alcotest.(check bool) "mean interval positive" true (s.Rewards.mean_interval > 0.0);
+  Alcotest.(check bool) "income cv finite" true (Float.is_finite s.Rewards.income_cv)
+
+let test_reward_summary_unknown_miner () =
+  let trace = small_trace ~rho:0.0 () in
+  let s = Rewards.summarize trace ~miner:77 ~slices:10 in
+  Alcotest.(check int) "no rewards" 0 s.Rewards.rewards;
+  Alcotest.(check bool) "nan first" true (Float.is_nan s.Rewards.time_to_first)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "quality",
+        [
+          Alcotest.test_case "share counting" `Quick test_shares_counting;
+          Alcotest.test_case "empty shares" `Quick test_shares_empty;
+          Alcotest.test_case "worst window" `Quick test_worst_window;
+          Alcotest.test_case "worst window invalid" `Quick test_worst_window_invalid;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "min window share" `Quick test_min_window_share;
+          Alcotest.test_case "subset flags" `Quick test_subset_flags;
+          Alcotest.test_case "full honest set" `Quick test_fruit_fairness_full_honest_set;
+          Alcotest.test_case "rejects corrupt subset" `Quick test_fairness_rejects_corrupt_subset;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "divergence on crafted fork" `Quick test_consistency_divergence;
+          Alcotest.test_case "benign agreement" `Quick test_consistency_agreement_is_zero;
+        ] );
+      ( "growth",
+        [
+          Alcotest.test_case "rates" `Quick test_growth_rates;
+          Alcotest.test_case "fruit ledger rate" `Quick test_fruit_ledger_rate;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "confirms probes" `Quick test_liveness_confirms_probes;
+          Alcotest.test_case "no probes" `Quick test_liveness_empty;
+        ] );
+      ( "rewards",
+        [
+          Alcotest.test_case "rounds sorted, partition" `Quick
+            test_reward_rounds_sorted_and_filtered;
+          Alcotest.test_case "summary" `Quick test_reward_summary;
+          Alcotest.test_case "unknown miner" `Quick test_reward_summary_unknown_miner;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for Fruitchain_spv: header sync and fruit inclusion proofs, over
+   real SHA-256 mining so every verification path is genuine. *)
+
+module Light = Fruitchain_spv.Light_client
+module Types = Fruitchain_chain.Types
+module Codec = Fruitchain_chain.Codec
+module Store = Fruitchain_chain.Store
+module Validate = Fruitchain_chain.Validate
+module Hash = Fruitchain_crypto.Hash
+module Oracle = Fruitchain_crypto.Oracle
+module Sha256 = Fruitchain_crypto.Sha256
+module Rng = Fruitchain_util.Rng
+
+let oracle = Oracle.real ~p:0.5 ~pf:0.5
+let recency = Some 4
+
+let mine_fruit rng ~pointer ~record =
+  let rec go () =
+    let header =
+      {
+        Types.parent = Types.genesis_hash;
+        pointer;
+        nonce = Rng.bits64 rng;
+        digest = Fruitchain_crypto.Merkle.empty_root;
+        record;
+      }
+    in
+    let hash = Oracle.query oracle (Codec.header_bytes header) in
+    if Oracle.mined_fruit oracle hash then
+      { Types.f_header = header; f_hash = hash; f_prov = None }
+    else go ()
+  in
+  go ()
+
+let mine_block rng ~parent fruits =
+  let digest = Validate.fruit_set_digest fruits in
+  let rec go () =
+    let header =
+      { Types.parent; pointer = parent; nonce = Rng.bits64 rng; digest; record = "" }
+    in
+    let hash = Oracle.query oracle (Codec.header_bytes header) in
+    if Oracle.mined_block oracle hash then
+      { Types.b_header = header; b_hash = hash; fruits; b_prov = None }
+    else go ()
+  in
+  go ()
+
+(* A five-block chain; block i (1-based) carries one fruit with record
+   "rec-i" hanging from block i-1 (or genesis). *)
+let build () =
+  let rng = Rng.of_seed 77L in
+  let store = Store.create () in
+  let rec go parent i acc =
+    if i > 5 then (store, parent, List.rev acc)
+    else begin
+      let f = mine_fruit rng ~pointer:parent ~record:(Printf.sprintf "rec-%d" i) in
+      let b = mine_block rng ~parent [ f ] in
+      Store.add store b;
+      go b.Types.b_hash (i + 1) (b :: acc)
+    end
+  in
+  go Types.genesis_hash 1 []
+
+let headers_of blocks = List.map Light.header_of_block blocks
+
+let synced_client () =
+  let store, head, blocks = build () in
+  let client = Light.create ~oracle ~recency in
+  (match Light.sync client (headers_of blocks) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sync failed: %a" Light.pp_sync_error e);
+  (store, head, blocks, client)
+
+let test_sync_happy () =
+  let _, head, _, client = synced_client () in
+  Alcotest.(check int) "height" 5 (Light.height client);
+  Alcotest.(check bool) "head" true (Hash.equal (Light.head client) head)
+
+let test_sync_rejects_unknown_parent () =
+  let _, _, blocks, _ = synced_client () in
+  let fresh = Light.create ~oracle ~recency in
+  (* Start from block 2: its parent is unknown to a fresh client. *)
+  match Light.sync fresh (headers_of (List.tl blocks)) with
+  | Error Light.Unknown_parent -> ()
+  | _ -> Alcotest.fail "expected Unknown_parent"
+
+let test_sync_rejects_bad_pow () =
+  let _, _, blocks, _ = synced_client () in
+  let fresh = Light.create ~oracle ~recency in
+  let headers = headers_of blocks in
+  let tampered =
+    match headers with
+    | h :: rest -> { h with Light.reference = Hash.of_raw (Sha256.digest "forged") } :: rest
+    | [] -> []
+  in
+  match Light.sync fresh tampered with
+  | Error Light.Bad_pow -> ()
+  | _ -> Alcotest.fail "expected Bad_pow"
+
+let test_sync_rejects_shorter () =
+  let _, _, blocks, client = synced_client () in
+  (* Re-presenting a prefix of the same chain is not longer. *)
+  match Light.sync client (headers_of [ List.hd blocks ]) with
+  | Error Light.Not_longer -> ()
+  | _ -> Alcotest.fail "expected Not_longer"
+
+let test_prove_and_verify () =
+  let store, head, _, client = synced_client () in
+  match Light.prove store ~head ~record:"rec-3" with
+  | None -> Alcotest.fail "proof should exist"
+  | Some proof -> (
+      match Light.verify client ~record:"rec-3" proof with
+      | Ok depth -> Alcotest.(check int) "depth: blocks above block 3" 2 depth
+      | Error e -> Alcotest.failf "verify failed: %a" Light.pp_verify_error e)
+
+let test_prove_missing_record () =
+  let store, head, _, _ = synced_client () in
+  Alcotest.(check bool) "no proof for unknown record" true
+    (Light.prove store ~head ~record:"never-submitted" = None)
+
+let test_verify_rejects_wrong_record () =
+  let store, head, _, client = synced_client () in
+  let proof = Option.get (Light.prove store ~head ~record:"rec-2") in
+  match Light.verify client ~record:"rec-3" proof with
+  | Error Light.Wrong_record -> ()
+  | _ -> Alcotest.fail "expected Wrong_record"
+
+let test_verify_rejects_forged_fruit () =
+  let store, head, _, client = synced_client () in
+  let proof = Option.get (Light.prove store ~head ~record:"rec-2") in
+  let forged =
+    {
+      proof with
+      Light.fruit =
+        { proof.Light.fruit with Types.f_hash = Hash.of_raw (Sha256.digest "forged") };
+    }
+  in
+  match Light.verify client ~record:"rec-2" forged with
+  | Error Light.Invalid_fruit -> ()
+  | _ -> Alcotest.fail "expected Invalid_fruit"
+
+let test_verify_rejects_wrong_block () =
+  let store, head, blocks, client = synced_client () in
+  let proof = Option.get (Light.prove store ~head ~record:"rec-2") in
+  (* Point the proof at a different (real) block: the merkle path fails. *)
+  let other = (List.nth blocks 4).Types.b_hash in
+  let misdirected = { proof with Light.block_reference = other } in
+  match Light.verify client ~record:"rec-2" misdirected with
+  | Error Light.Bad_merkle_path -> ()
+  | _ -> Alcotest.fail "expected Bad_merkle_path"
+
+let test_verify_rejects_off_chain_block () =
+  let store, head, _, client = synced_client () in
+  let proof = Option.get (Light.prove store ~head ~record:"rec-2") in
+  let off = { proof with Light.block_reference = Hash.of_raw (Sha256.digest "offchain") } in
+  match Light.verify client ~record:"rec-2" off with
+  | Error Light.Unknown_block -> ()
+  | _ -> Alcotest.fail "expected Unknown_block"
+
+let test_verify_stale_fruit () =
+  (* Build a chain whose last block contains a fruit hanging from genesis,
+     beyond a recency window of 2: the full-node chain is invalid for that
+     window, and the light client rejects the proof for the same reason. *)
+  let rng = Rng.of_seed 78L in
+  let store = Store.create () in
+  let rec extend parent i acc =
+    if i > 4 then (parent, List.rev acc)
+    else begin
+      let b = mine_block rng ~parent [] in
+      Store.add store b;
+      extend b.Types.b_hash (i + 1) (b :: acc)
+    end
+  in
+  let tip, blocks = extend Types.genesis_hash 1 [] in
+  let stale = mine_fruit rng ~pointer:Types.genesis_hash ~record:"old" in
+  let last = mine_block rng ~parent:tip [ stale ] in
+  Store.add store last;
+  let client = Light.create ~oracle ~recency:(Some 2) in
+  (match Light.sync client (headers_of (blocks @ [ last ])) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sync: %a" Light.pp_sync_error e);
+  let proof = Option.get (Light.prove store ~head:last.Types.b_hash ~record:"old") in
+  match Light.verify client ~record:"old" proof with
+  | Error Light.Stale_fruit -> ()
+  | Ok _ -> Alcotest.fail "stale fruit accepted"
+  | Error e -> Alcotest.failf "expected Stale_fruit, got %a" Light.pp_verify_error e
+
+let test_client_storage_is_light () =
+  (* The point of SPV: header bytes per block, not fruit sets. *)
+  let _, _, blocks, _ = synced_client () in
+  let header_bytes =
+    List.fold_left
+      (fun acc (b : Types.block) -> acc + String.length (Codec.header_bytes b.b_header) + 32)
+      0 blocks
+  in
+  let full_bytes =
+    List.fold_left (fun acc b -> acc + Codec.block_wire_size b) 0 blocks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "headers (%dB) much smaller than blocks (%dB)" header_bytes full_bytes)
+    true
+    (header_bytes * 2 < full_bytes)
+
+let () =
+  Alcotest.run "spv"
+    [
+      ( "sync",
+        [
+          Alcotest.test_case "happy path" `Quick test_sync_happy;
+          Alcotest.test_case "unknown parent" `Quick test_sync_rejects_unknown_parent;
+          Alcotest.test_case "bad pow" `Quick test_sync_rejects_bad_pow;
+          Alcotest.test_case "not longer" `Quick test_sync_rejects_shorter;
+        ] );
+      ( "proofs",
+        [
+          Alcotest.test_case "prove and verify" `Quick test_prove_and_verify;
+          Alcotest.test_case "missing record" `Quick test_prove_missing_record;
+          Alcotest.test_case "wrong record" `Quick test_verify_rejects_wrong_record;
+          Alcotest.test_case "forged fruit" `Quick test_verify_rejects_forged_fruit;
+          Alcotest.test_case "wrong block" `Quick test_verify_rejects_wrong_block;
+          Alcotest.test_case "off-chain block" `Quick test_verify_rejects_off_chain_block;
+          Alcotest.test_case "stale fruit" `Quick test_verify_stale_fruit;
+          Alcotest.test_case "storage is light" `Quick test_client_storage_is_light;
+        ] );
+    ]

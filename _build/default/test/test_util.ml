@@ -1,0 +1,389 @@
+(* Tests for Fruitchain_util: rng, sampling, stats, hex, table. *)
+
+module Rng = Fruitchain_util.Rng
+module Sampling = Fruitchain_util.Sampling
+module Stats = Fruitchain_util.Stats
+module Hex = Fruitchain_util.Hex
+module Table = Fruitchain_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_seed 42L and b = Rng.of_seed 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.of_seed 1L and b = Rng.of_seed 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_rng_split_independent () =
+  let g = Rng.of_seed 7L in
+  let child = Rng.split g in
+  let xs = List.init 32 (fun _ -> Rng.bits64 g) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let g = Rng.of_seed 9L in
+  ignore (Rng.bits64 g);
+  let c = Rng.copy g in
+  Alcotest.(check int64) "copy resumes identically" (Rng.bits64 g) (Rng.bits64 c)
+
+let test_rng_float_range () =
+  let g = Rng.of_seed 3L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_float_mean () =
+  let g = Rng.of_seed 4L in
+  let s = Stats.create () in
+  for _ = 1 to 100_000 do
+    Stats.add s (Rng.float g)
+  done;
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (Stats.mean s -. 0.5) < 0.01)
+
+let test_rng_int_bounds () =
+  let g = Rng.of_seed 5L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "zero bound rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_rng_int_uniform () =
+  let g = Rng.of_seed 6L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int g 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "each bucket near n/10" true
+        (Float.abs (float_of_int c -. 10_000.0) < 500.0))
+    counts
+
+let test_bernoulli_extremes () =
+  let g = Rng.of_seed 8L in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli g 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli g 1.0);
+  Alcotest.(check bool) "p<0 never" false (Rng.bernoulli g (-0.5));
+  Alcotest.(check bool) "p>1 always" true (Rng.bernoulli g 1.5)
+
+let test_bernoulli_rate () =
+  let g = Rng.of_seed 10L in
+  let hits = ref 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli g 0.05 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.05" true (Float.abs (rate -. 0.05) < 0.003)
+
+(* --- Sampling -------------------------------------------------------- *)
+
+let test_geometric_mean () =
+  let g = Rng.of_seed 11L in
+  let s = Stats.create () in
+  let p = 0.2 in
+  for _ = 1 to 50_000 do
+    Stats.add s (float_of_int (Sampling.geometric g p))
+  done;
+  (* mean of failures-before-success = (1-p)/p = 4 *)
+  Alcotest.(check bool) "mean near 4" true (Float.abs (Stats.mean s -. 4.0) < 0.15)
+
+let test_geometric_p1 () =
+  let g = Rng.of_seed 12L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 is 0" 0 (Sampling.geometric g 1.0)
+  done
+
+let test_geometric_invalid () =
+  let g = Rng.of_seed 13L in
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Sampling.geometric: need 0 < p <= 1") (fun () ->
+      ignore (Sampling.geometric g 0.0))
+
+let test_binomial_edges () =
+  let g = Rng.of_seed 14L in
+  Alcotest.(check int) "p=0" 0 (Sampling.binomial g 100 0.0);
+  Alcotest.(check int) "p=1" 100 (Sampling.binomial g 100 1.0);
+  Alcotest.(check int) "n=0" 0 (Sampling.binomial g 0 0.5)
+
+let test_binomial_mean_small () =
+  let g = Rng.of_seed 15L in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (float_of_int (Sampling.binomial g 20 0.3))
+  done;
+  Alcotest.(check bool) "mean near 6" true (Float.abs (Stats.mean s -. 6.0) < 0.1)
+
+let test_binomial_mean_large () =
+  let g = Rng.of_seed 16L in
+  let s = Stats.create () in
+  for _ = 1 to 5_000 do
+    Stats.add s (float_of_int (Sampling.binomial g 10_000 0.5))
+  done;
+  Alcotest.(check bool) "mean near 5000" true (Float.abs (Stats.mean s -. 5000.0) < 5.0)
+
+let test_binomial_range () =
+  let g = Rng.of_seed 17L in
+  for _ = 1 to 1_000 do
+    let x = Sampling.binomial g 50 0.5 in
+    Alcotest.(check bool) "within [0,50]" true (x >= 0 && x <= 50)
+  done
+
+let test_poisson_mean () =
+  let g = Rng.of_seed 18L in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (float_of_int (Sampling.poisson g 3.5))
+  done;
+  Alcotest.(check bool) "mean near 3.5" true (Float.abs (Stats.mean s -. 3.5) < 0.1)
+
+let test_poisson_zero () =
+  let g = Rng.of_seed 19L in
+  Alcotest.(check int) "lambda=0" 0 (Sampling.poisson g 0.0)
+
+let test_exponential_mean () =
+  let g = Rng.of_seed 20L in
+  let s = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add s (Sampling.exponential g 0.5)
+  done;
+  Alcotest.(check bool) "mean near 2" true (Float.abs (Stats.mean s -. 2.0) < 0.05)
+
+let test_shuffle_permutation () =
+  let g = Rng.of_seed 21L in
+  let a = Array.init 50 Fun.id in
+  Sampling.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let g = Rng.of_seed 22L in
+  for _ = 1 to 100 do
+    let s = Sampling.sample_without_replacement g 5 20 in
+    Alcotest.(check int) "size" 5 (List.length s);
+    Alcotest.(check bool) "sorted distinct in range" true
+      (List.for_all (fun x -> x >= 0 && x < 20) s
+      && List.sort_uniq compare s = s)
+  done;
+  Alcotest.(check (list int)) "k=n is everything" (List.init 5 Fun.id)
+    (Sampling.sample_without_replacement g 5 5)
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "variance" (5.0 /. 3.0) (Stats.variance s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  check_float "total" 10.0 (Stats.total s);
+  Alcotest.(check int) "count" 4 (Stats.count s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.variance s))
+
+let test_stats_single () =
+  let s = Stats.of_list [ 5.0 ] in
+  check_float "mean" 5.0 (Stats.mean s);
+  Alcotest.(check bool) "variance nan with one sample" true (Float.is_nan (Stats.variance s))
+
+let test_stats_merge () =
+  let a = Stats.of_list [ 1.0; 2.0; 3.0 ] in
+  let b = Stats.of_list [ 10.0; 20.0 ] in
+  let m = Stats.merge a b in
+  let direct = Stats.of_list [ 1.0; 2.0; 3.0; 10.0; 20.0 ] in
+  check_float "merged mean" (Stats.mean direct) (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "merged variance" (Stats.variance direct) (Stats.variance m);
+  Alcotest.(check int) "merged count" 5 (Stats.count m)
+
+let test_stats_merge_empty () =
+  let a = Stats.of_list [ 1.0; 2.0 ] in
+  let e = Stats.create () in
+  check_float "merge with empty (right)" (Stats.mean a) (Stats.mean (Stats.merge a e));
+  check_float "merge with empty (left)" (Stats.mean a) (Stats.mean (Stats.merge e a))
+
+let test_quantile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "q0 = min" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1 = max" 4.0 (Stats.quantile xs 1.0);
+  check_float "median interpolates" 2.5 (Stats.median xs);
+  check_float "q0.25" 1.75 (Stats.quantile xs 0.25)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Stats.quantile: empty array")
+    (fun () -> ignore (Stats.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q out of range")
+    (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5))
+
+let test_cv () =
+  let s = Stats.of_list [ 10.0; 10.0; 10.0 ] in
+  check_float "cv of constant" 0.0 (Stats.coefficient_of_variation s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.0; 3.0; 9.9; -5.0; 15.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  Alcotest.(check int) "clamped low" 3 counts.(0);
+  Alcotest.(check int) "clamped high" 2 counts.(4);
+  check_float "bin mid" 1.0 (Stats.Histogram.bin_mid h 0)
+
+(* --- Hex ------------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff hello" in
+  Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s))
+
+let test_hex_known () =
+  Alcotest.(check string) "encode" "deadbeef" (Hex.encode "\xde\xad\xbe\xef");
+  Alcotest.(check string) "decode uppercase" "\xde\xad\xbe\xef" (Hex.decode "DEADBEEF")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hex.decode: non-hex character")
+    (fun () -> ignore (Hex.decode "zz"))
+
+(* --- Table ----------------------------------------------------------- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_table_renders () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left); ("b", Table.Right) ] () in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 1 = "t");
+  Alcotest.(check bool) "contains row" true (contains s "yy");
+  Alcotest.(check bool) "contains header" true (contains s "| a")
+
+let test_table_arity () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] () in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_csv () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("v", Table.Right) ] () in
+  Table.add_row t [ "plain"; "1" ];
+  Table.add_row t [ "with,comma"; "quote\"inside" ];
+  Alcotest.(check string) "csv escaping"
+    "name,v\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n" (Table.to_csv t)
+
+let test_table_formats () =
+  Alcotest.(check string) "fpct" "12.50%" (Table.fpct 0.125);
+  Alcotest.(check string) "f2" "3.14" (Table.f2 3.14159);
+  Alcotest.(check string) "int" "42" (Table.int 42)
+
+(* --- QCheck properties ----------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"hex roundtrip (random bytes)" ~count:500 (string_of_size Gen.(0 -- 64))
+      (fun s -> Hex.decode (Hex.encode s) = s);
+    Test.make ~name:"hex encode length doubles" ~count:200 string (fun s ->
+        String.length (Hex.encode s) = 2 * String.length s);
+    Test.make ~name:"stats merge = concat" ~count:200
+      (pair (list (float_bound_exclusive 1000.0)) (list (float_bound_exclusive 1000.0)))
+      (fun (xs, ys) ->
+        let m = Stats.merge (Stats.of_list xs) (Stats.of_list ys) in
+        let d = Stats.of_list (xs @ ys) in
+        Stats.count m = Stats.count d
+        && (Stats.count d = 0 || Float.abs (Stats.mean m -. Stats.mean d) < 1e-6));
+    Test.make ~name:"quantile between min and max" ~count:200
+      (pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0)) (float_bound_inclusive 1.0))
+      (fun (xs, q) ->
+        let a = Array.of_list xs in
+        let v = Stats.quantile a q in
+        v >= Stats.quantile a 0.0 -. 1e-9 && v <= Stats.quantile a 1.0 +. 1e-9);
+    Test.make ~name:"binomial within [0,n]" ~count:200 (int_bound 200) (fun n ->
+        let g = Rng.of_seed (Int64.of_int (n + 1)) in
+        let x = Sampling.binomial g n 0.37 in
+        x >= 0 && x <= n);
+    Test.make ~name:"shuffle preserves multiset" ~count:200 (list (int_bound 100)) (fun xs ->
+        let g = Rng.of_seed 77L in
+        let a = Array.of_list xs in
+        Sampling.shuffle g a;
+        List.sort compare (Array.to_list a) = List.sort compare xs);
+  ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+          Alcotest.test_case "geometric invalid" `Quick test_geometric_invalid;
+          Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+          Alcotest.test_case "binomial mean (small)" `Quick test_binomial_mean_small;
+          Alcotest.test_case "binomial mean (large)" `Quick test_binomial_mean_large;
+          Alcotest.test_case "binomial range" `Quick test_binomial_range;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+          Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic moments" `Quick test_stats_basic;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "single" `Quick test_stats_single;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+          Alcotest.test_case "cv" `Quick test_cv;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "known vectors" `Quick test_hex_known;
+          Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "arity check" `Quick test_table_arity;
+          Alcotest.test_case "cell formats" `Quick test_table_formats;
+          Alcotest.test_case "csv export" `Quick test_table_csv;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
