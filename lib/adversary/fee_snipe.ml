@@ -3,7 +3,6 @@ module Hash = Fruitchain_crypto.Hash
 module Network = Fruitchain_net.Network
 module Message = Fruitchain_net.Message
 module Strategy = Fruitchain_sim.Strategy
-module Config = Fruitchain_sim.Config
 module Tx = Fruitchain_ledger.Tx
 
 module type PARAMS = sig

@@ -101,7 +101,8 @@ let get_fruit r =
   let f_hash = get_hash r in
   { f_header; f_hash; f_prov = None }
 
-let finished r = if r.pos <> String.length r.data then invalid_arg "Codec: trailing bytes"
+let finished r =
+  if not (Int.equal r.pos (String.length r.data)) then invalid_arg "Codec: trailing bytes"
 
 let fruit_of_bytes s =
   let r = { data = s; pos = 0 } in

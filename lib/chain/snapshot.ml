@@ -35,7 +35,8 @@ let chain_to_bytes chain =
 
 let chain_of_bytes data =
   let magic_len = String.length magic in
-  if String.length data < magic_len + 4 || String.sub data 0 magic_len <> magic then
+  if String.length data < magic_len + 4 || not (String.equal (String.sub data 0 magic_len) magic)
+  then
     invalid_arg "Snapshot.chain_of_bytes: bad magic or version";
   let pos = ref magic_len in
   let u32 () =
@@ -54,7 +55,7 @@ let chain_of_bytes data =
     pos := !pos + len;
     blocks := block :: !blocks
   done;
-  if !pos <> String.length data then invalid_arg "Snapshot: trailing bytes";
+  if not (Int.equal !pos (String.length data)) then invalid_arg "Snapshot: trailing bytes";
   let chain = genesis :: List.rev !blocks in
   let rec check_links = function
     | a :: (b :: _ as rest) ->

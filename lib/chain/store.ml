@@ -53,7 +53,7 @@ let to_list t ~head = fold_back t ~head ~init:[] ~f:(fun acc b -> b :: acc)
 
 let last_n t ~head n =
   let rec go acc h remaining =
-    if remaining = 0 then acc
+    if Int.equal remaining 0 then acc
     else
       let block = find_exn t h in
       let acc = block :: acc in
@@ -68,7 +68,7 @@ let ancestor_at_height t ~head ~height:target =
       match Hashtbl_h.find_opt t.entries h with
       | None -> None
       | Some e ->
-          if e.height = target then Some e.block
+          if Int.equal e.height target then Some e.block
           else if e.height < target then None
           else go e.block.b_header.parent
     in

@@ -61,9 +61,9 @@ let drop t fruit_hash =
       let siblings =
         Option.value ~default:[] (Hashtbl.find_opt t.by_pointer f.f_header.pointer)
       in
-      let siblings = List.filter (fun h -> not (Hash.equal h fruit_hash)) siblings in
-      if siblings = [] then Hashtbl.remove t.by_pointer f.f_header.pointer
-      else Hashtbl.replace t.by_pointer f.f_header.pointer siblings
+      (match List.filter (fun h -> not (Hash.equal h fruit_hash)) siblings with
+      | [] -> Hashtbl.remove t.by_pointer f.f_header.pointer
+      | siblings -> Hashtbl.replace t.by_pointer f.f_header.pointer siblings)
 
 let refresh t ~store ~view =
   Hashtbl.reset t.candidate_set;

@@ -21,7 +21,7 @@ let fruits store ~head = fruits_of_chain (Store.to_list store ~head)
 let records fruit_list =
   List.filter_map
     (fun (f : Types.fruit) ->
-      if String.length f.f_header.record = 0 then None else Some f.f_header.record)
+      if Int.equal (String.length f.f_header.record) 0 then None else Some f.f_header.record)
     fruit_list
 
 let ledger_of_chain chain = records (fruits_of_chain chain)

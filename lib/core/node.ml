@@ -52,7 +52,7 @@ let adopt t new_head =
   let bound = Params.recency_window t.params in
   let rec path_to acc h steps =
     if Hash.equal h t.head then Some acc
-    else if steps = 0 || Hash.equal h Types.genesis.b_hash then None
+    else if Int.equal steps 0 || Hash.equal h Types.genesis.b_hash then None
     else
       match Store.find t.store h with
       | None -> None

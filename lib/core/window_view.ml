@@ -67,14 +67,14 @@ let extend ~window view (block : Types.block) =
       let (old_hash, old_fruits), span = Span.pop span in
       let hangs =
         match Hmap.find_opt old_hash hangs with
-        | Some h when h = expired_height -> Hmap.remove old_hash hangs
+        | Some h when Int.equal h expired_height -> Hmap.remove old_hash hangs
         | _ -> hangs
       in
       let included =
         List.fold_left
           (fun acc fh ->
             match Hmap.find_opt fh acc with
-            | Some h when h = expired_height -> Hmap.remove fh acc
+            | Some h when Int.equal h expired_height -> Hmap.remove fh acc
             | _ -> acc)
           included old_fruits
       in

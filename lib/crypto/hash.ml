@@ -1,14 +1,13 @@
 type t = string
 
 let of_raw s =
-  if String.length s <> 32 then invalid_arg "Hash.of_raw: expected 32 bytes";
+  if not (Int.equal (String.length s) 32) then invalid_arg "Hash.of_raw: expected 32 bytes";
   s
 
 let to_raw t = t
 let zero = String.make 32 '\000'
 let equal = String.equal
 let compare = String.compare
-let hash t = Hashtbl.hash t
 let to_hex = Fruitchain_util.Hex.encode
 let of_hex s = of_raw (Fruitchain_util.Hex.decode s)
 let pp fmt t = Format.fprintf fmt "%s…" (String.sub (to_hex t) 0 8)
@@ -24,6 +23,11 @@ let read64 t pos =
 
 let prefix64 t = read64 t 0
 let suffix64 t = read64 t 24
+
+(* Digests are already uniform, so the leading bytes are a perfectly good
+   table hash; unlike [Hashtbl.hash] this is stable across OCaml versions
+   and immune to polymorphic-hash traversal limits. *)
+let hash t = Int64.to_int (prefix64 t) land max_int
 
 let threshold p =
   if p <= 0.0 then 0L

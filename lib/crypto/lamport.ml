@@ -28,7 +28,7 @@ let sign sk msg =
   Array.init bits (fun i -> sk.(i).(mb.(i)))
 
 let verify pk msg signature =
-  Array.length signature = bits
+  Int.equal (Array.length signature) bits
   &&
   let mb = message_bits msg in
   let ok = ref true in
@@ -43,7 +43,8 @@ let public_key_bytes pk =
   Buffer.contents buf
 
 let public_key_of_bytes s =
-  if String.length s <> bits * 2 * 32 then invalid_arg "Lamport.public_key_of_bytes: bad length";
+  if not (Int.equal (String.length s) (bits * 2 * 32)) then
+    invalid_arg "Lamport.public_key_of_bytes: bad length";
   Array.init bits (fun i ->
       Array.init 2 (fun b -> String.sub s (((i * 2) + b) * 32) 32))
 
@@ -55,5 +56,6 @@ let signature_bytes signature =
   Buffer.contents buf
 
 let signature_of_bytes s =
-  if String.length s <> bits * 32 then invalid_arg "Lamport.signature_of_bytes: bad length";
+  if not (Int.equal (String.length s) (bits * 32)) then
+    invalid_arg "Lamport.signature_of_bytes: bad length";
   Array.init bits (fun i -> String.sub s (i * 32) 32)

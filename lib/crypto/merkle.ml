@@ -29,7 +29,7 @@ let proof leaves index =
     | _ ->
         let arr = Array.of_list nodes in
         let sibling, side =
-          if index mod 2 = 0 then
+          if Int.equal (index mod 2) 0 then
             if index + 1 < Array.length arr then (Some arr.(index + 1), `Right) else (None, `Right)
           else (Some arr.(index - 1), `Left)
         in

@@ -98,7 +98,7 @@ let update_bytes ctx data ~pos ~len =
     ctx.buf_len <- ctx.buf_len + take;
     offset := !offset + take;
     remaining := !remaining - take;
-    if ctx.buf_len = 64 then begin
+    if Int.equal ctx.buf_len 64 then begin
       compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
@@ -121,7 +121,7 @@ let finalize ctx =
   (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
   let pad_len =
     let rem = (ctx.buf_len + 1 + 8) mod 64 in
-    if rem = 0 then 1 else 1 + (64 - rem)
+    if Int.equal rem 0 then 1 else 1 + (64 - rem)
   in
   let tail = Bytes.make (pad_len + 8) '\000' in
   Bytes.set tail 0 '\x80';
@@ -134,7 +134,7 @@ let finalize ctx =
   let saved_total = ctx.total in
   update_bytes ctx tail ~pos:0 ~len:(Bytes.length tail);
   ctx.total <- saved_total;
-  assert (ctx.buf_len = 0);
+  assert (Int.equal ctx.buf_len 0);
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let word = ctx.h.(i) in

@@ -1,0 +1,8 @@
+(** E02: Selfish mining against FruitChain (fruit revenue share).
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E05: Consistency: divergence and rollback depths under attack.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E06: Liveness: probe confirmation wait-times vs the (1+delta)*kappa/g0 bound.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E07: Solo-miner reward frequency and variance vs q = pf/p.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -12,7 +12,6 @@ module Types = Fruitchain_chain.Types
 module Codec = Fruitchain_chain.Codec
 module Validate = Fruitchain_chain.Validate
 module Oracle = Fruitchain_crypto.Oracle
-module Hash = Fruitchain_crypto.Hash
 module Rng = Fruitchain_util.Rng
 
 let id = "E08"

@@ -1,0 +1,8 @@
+(** E08: Block-space overhead of fruit metadata (1 MB block).
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -12,7 +12,6 @@
 
 module Table = Fruitchain_util.Table
 module Config = Fruitchain_sim.Config
-module Trace = Fruitchain_sim.Trace
 module Rng = Fruitchain_util.Rng
 module Tx = Fruitchain_ledger.Tx
 module Reward = Fruitchain_ledger.Reward

@@ -12,7 +12,6 @@
 module Table = Fruitchain_util.Table
 module Config = Fruitchain_sim.Config
 module Trace = Fruitchain_sim.Trace
-module Types = Fruitchain_chain.Types
 module Extract = Fruitchain_core.Extract
 module Quality = Fruitchain_metrics.Quality
 module Stats = Fruitchain_util.Stats

@@ -1,0 +1,8 @@
+(** E12: 2-for-1 mining: marginals and independence of fruit/block successes.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E13: End-to-end hybrid consensus: BFT safety on elected committees.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

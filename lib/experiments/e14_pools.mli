@@ -1,0 +1,8 @@
+(** E14: Income variance: pooled Bitcoin mining vs solo FruitChain mining.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E15: Difficulty retargeting: block-interval tracking under power drift.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E18: Gossip topology -> empirical Delta -> growth discount gamma.
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

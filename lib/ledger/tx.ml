@@ -1,4 +1,3 @@
-module Rng = Fruitchain_util.Rng
 module Sampling = Fruitchain_util.Sampling
 
 type t = { id : string; fee : float }

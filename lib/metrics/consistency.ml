@@ -1,6 +1,5 @@
 open Fruitchain_chain
 module Trace = Fruitchain_sim.Trace
-module Config = Fruitchain_sim.Config
 
 type report = {
   max_pairwise_divergence : int;

@@ -29,9 +29,9 @@ type accounting = {
   rounds : int;
   slice_income : float array array; (* member -> slice *)
   operator_slices : float array;
-  mutable payments : int array;
-  mutable first_payment : float array;
-  mutable total : float array;
+  payments : int array;
+  first_payment : float array;
+  total : float array;
 }
 
 let make_accounting ~m ~slices ~rounds =

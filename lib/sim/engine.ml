@@ -1,7 +1,6 @@
 open Fruitchain_chain
 module Rng = Fruitchain_util.Rng
 module Oracle = Fruitchain_crypto.Oracle
-module Hash = Fruitchain_crypto.Hash
 module Network = Fruitchain_net.Network
 module Message = Fruitchain_net.Message
 module Params = Fruitchain_core.Params

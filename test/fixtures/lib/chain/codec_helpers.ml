@@ -1,0 +1,2 @@
+(* R3 is scoped to validate.ml/extract.ml: raising elsewhere must not fire. *)
+let f () = failwith "fine outside the hot path"

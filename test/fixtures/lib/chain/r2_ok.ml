@@ -1,0 +1,7 @@
+(* R2 negative fixture: typed equality, module-qualified compare, suppression. *)
+let a = String.equal
+let b x y = Int.compare x y
+let c x y = Int.equal x y
+
+(* fruitlint: allow R2 *)
+let d x y = compare x y

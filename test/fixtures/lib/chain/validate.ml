@@ -1,0 +1,5 @@
+(* R3 positive fixture: partial functions in the validation hot path. *)
+let f x = if x then failwith "boom" else ()
+let g () = raise Not_found
+let h x = assert x
+let k () = invalid_arg "nope"

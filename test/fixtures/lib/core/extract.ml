@@ -1,0 +1,2 @@
+(* R3 negative fixture: the hot path stays total by returning results. *)
+let check x = if x then Ok () else Error "invalid"

@@ -1,0 +1,6 @@
+(* R1 positive fixture: every line below must fire the determinism rule. *)
+let roll () = Random.int 6
+let now () = Sys.time ()
+let h x = Hashtbl.hash x
+let wall () = Unix.gettimeofday ()
+module R = Random

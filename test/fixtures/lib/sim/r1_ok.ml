@@ -1,0 +1,7 @@
+(* R1 negative fixture: seeded streams, benign Sys access, suppressions. *)
+let roll rng = Fruitchain_util.Rng.int rng 6
+let bits () = Sys.word_size
+
+(* fruitlint: allow R1 *)
+let h x = Hashtbl.hash x
+let t () = Sys.time () (* fruitlint: allow R1 *)

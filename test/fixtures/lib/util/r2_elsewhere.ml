@@ -1,0 +1,2 @@
+(* R2 is scoped to lib/chain, lib/crypto, lib/core: this must not fire. *)
+let a x y = x = y

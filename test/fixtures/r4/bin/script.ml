@@ -1,0 +1,2 @@
+(* R4 only covers lib/: executables need no interface. *)
+let () = ()

@@ -1,0 +1,2 @@
+(* R4 positive fixture: a lib/ unit with no interface. *)
+let x = 1

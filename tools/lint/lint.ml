@@ -1,0 +1,285 @@
+(* fruitlint — repo-specific static-analysis rules for determinism and
+   protocol invariants, built on compiler-libs (Parse + Ast_iterator, no
+   typing pass, no ppx).
+
+   Rules:
+     R1  determinism: no Stdlib.Random, Sys.time, Unix.*, Hashtbl.hash
+         outside lib/util/rng.ml and the allowlist — all randomness must
+         flow through Fruitchain_util.Rng split streams.
+     R2  no polymorphic compare/equality (=, <>, ==, !=, compare) in
+         lib/chain/, lib/crypto/, lib/core/ — structural compare on
+         digests and mutable state is a correctness trap.
+     R3  total validation: no failwith/invalid_arg/raise/assert in
+         lib/chain/validate.ml and lib/core/extract.ml — hot validation
+         paths must return [result].
+     R4  interface completeness: every .ml under lib/ has a matching .mli.
+
+   Suppression: a comment containing "fruitlint: allow R<n> [R<m> ...]"
+   silences those rules on its own line and on the following line. *)
+
+type rule = R1 | R2 | R3 | R4
+
+let all_rules = [ R1; R2; R3; R4 ]
+let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+
+let rule_of_string = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | _ -> None
+
+type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+
+let pp_diag fmt d =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_name d.rule) d.msg
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_name a.rule) (rule_name b.rule)
+
+exception Lint_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping.  Rules are keyed on path *components* so the linter
+   behaves identically whether it is invoked from the workspace root
+   ([lib/chain/store.ml]) or from a test directory against copied
+   fixtures ([fixtures/lib/chain/store.ml]). *)
+
+let components path =
+  String.split_on_char '/' path
+  |> List.concat_map (String.split_on_char '\\')
+  |> List.filter (fun s ->
+         not (String.equal s "" || String.equal s "." || String.equal s ".."))
+
+let rec has_prefix sub l =
+  match (sub, l) with
+  | [], _ -> true
+  | _, [] -> false
+  | s :: sub', x :: l' -> String.equal s x && has_prefix sub' l'
+
+let rec contains_sublist sub l =
+  match l with
+  | [] -> ( match sub with [] -> true | _ -> false)
+  | _ :: tl -> has_prefix sub l || contains_sublist sub tl
+
+(* Determinism allowlist: files where R1 does not apply.  [lib/util/rng.ml]
+   is the single blessed source of randomness; everything else must reach
+   it through [Fruitchain_util.Rng]. *)
+let r1_allowlist = [ [ "lib"; "util"; "rng.ml" ] ]
+
+(* Directories where polymorphic compare on digest-bearing values is a
+   correctness trap. *)
+let r2_dirs = [ [ "lib"; "chain" ]; [ "lib"; "crypto" ]; [ "lib"; "core" ] ]
+
+(* Hot validation paths that must stay total ([result], never [raise]). *)
+let r3_files = [ [ "lib"; "chain"; "validate.ml" ]; [ "lib"; "core"; "extract.ml" ] ]
+
+let r1_applies path =
+  not (List.exists (fun a -> contains_sublist a (components path)) r1_allowlist)
+
+let r2_applies path =
+  let cs = components path in
+  List.exists (fun d -> contains_sublist d cs) r2_dirs
+
+let r3_applies path =
+  let cs = components path in
+  List.exists (fun f -> contains_sublist f cs) r3_files
+
+let r4_applies path = contains_sublist [ "lib" ] (components path)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments.  [suppressions content] maps a (line, rule) pair
+   to [true] when a "fruitlint: allow ..." comment covers it.  A comment
+   covers its own line and the next line, so both trailing and preceding
+   placements work. *)
+
+let marker = "fruitlint: allow"
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.equal (String.sub hay i nn) needle then Some i else go (i + 1) in
+  go 0
+
+let suppressions content =
+  let tbl = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' content in
+  List.iteri
+    (fun i line ->
+      match find_substring line marker with
+      | None -> ()
+      | Some at ->
+          let rest = String.sub line (at + String.length marker) (String.length line - at - String.length marker) in
+          let tokens =
+            String.split_on_char ' ' rest
+            |> List.concat_map (String.split_on_char '*')
+            |> List.concat_map (String.split_on_char ')')
+            |> List.filter (fun s -> not (String.equal s ""))
+          in
+          (* Stop at the first token that is not a rule id, so prose after
+             the rule list does not accidentally widen the suppression. *)
+          let rec add = function
+            | [] -> ()
+            | t :: tl -> (
+                match rule_of_string t with
+                | Some r ->
+                    Hashtbl.replace tbl (i + 1, r) ();
+                    Hashtbl.replace tbl (i + 2, r) ();
+                    add tl
+                | None -> ())
+          in
+          add tokens)
+    lines;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification.  We work purely syntactically: a qualified
+   path is flattened and an optional leading [Stdlib] is stripped, so
+   [Random.int], [Stdlib.Random.int] and [Stdlib.compare] all normalise
+   to the same shape. *)
+
+let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | l -> l
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let r1_violation lid =
+  match strip_stdlib (flatten lid) with
+  | "Random" :: _ ->
+      Some "Stdlib.Random breaks seed-determinism; use Fruitchain_util.Rng split streams"
+  | "Unix" :: _ -> Some "Unix.* leaks wall-clock/system state into the simulation"
+  | [ "Sys"; "time" ] -> Some "Sys.time is wall-clock dependent; thread simulated rounds instead"
+  | [ "Hashtbl"; "hash" ] | [ "Hashtbl"; "seeded_hash" ] | [ "Hashtbl"; "hash_param" ] ->
+      Some "polymorphic Hashtbl.hash depends on OCaml version and traversal limits; derive hashes from digest bytes"
+  | _ -> None
+
+let r2_violation lid =
+  match strip_stdlib (flatten lid) with
+  | [ ("=" | "<>" | "==" | "!=" | "compare") as op ] ->
+      Some
+        (Printf.sprintf
+           "polymorphic %s on digest-bearing values is a correctness trap; use Hash.equal/String.equal/Int.equal or a typed compare"
+           (match op with "compare" -> "compare" | o -> "( " ^ o ^ " )"))
+  | _ -> None
+
+let r3_violation lid =
+  match strip_stdlib (flatten lid) with
+  | [ ("failwith" | "invalid_arg" | "raise" | "raise_notrace") as f ] ->
+      Some (Printf.sprintf "%s in a total-validation hot path; return a [result] instead" f)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* AST traversal. *)
+
+let lint_structure ~path ~only structure =
+  let diags = ref [] in
+  let enabled r = List.exists (fun r' -> String.equal (rule_name r) (rule_name r')) only in
+  let r1 = enabled R1 && r1_applies path in
+  let r2 = enabled R2 && r2_applies path in
+  let r3 = enabled R3 && r3_applies path in
+  let push (loc : Location.t) rule msg =
+    let p = loc.loc_start in
+    diags := { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: !diags
+  in
+  let check_ident loc lid =
+    if r1 then Option.iter (push loc R1) (r1_violation lid);
+    if r2 then Option.iter (push loc R2) (r2_violation lid);
+    if r3 then Option.iter (push loc R3) (r3_violation lid)
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
+    | Pexp_assert _ when r3 ->
+        push e.pexp_loc R3 "assert in a total-validation hot path; return a [result] instead"
+    | _ -> ());
+    super.expr self e
+  in
+  let module_expr self (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; _ } when r1 ->
+        (* Catches [open Unix], [module R = Random], [include Unix]. *)
+        Option.iter (push m.pmod_loc R1) (r1_violation txt)
+    | _ -> ());
+    super.module_expr self m
+  in
+  let iter = { super with expr; module_expr } in
+  iter.structure iter structure;
+  !diags
+
+let parse_with ~path parse content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  try parse lexbuf
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    raise (Lint_error (Printf.sprintf "%s: parse error: %s" path msg))
+
+let lint_source ?(only = all_rules) ~path content =
+  let raw =
+    if Filename.check_suffix path ".mli" then begin
+      (* Interfaces carry no expressions; parsing validates the syntax and
+         keeps the CLI honest about having visited every file. *)
+      ignore (parse_with ~path Parse.interface content);
+      []
+    end
+    else lint_structure ~path ~only (parse_with ~path Parse.implementation content)
+  in
+  let suppr = suppressions content in
+  raw
+  |> List.filter (fun d -> not (Hashtbl.mem suppr (d.line, d.rule)))
+  |> List.sort compare_diag
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem driver. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name > 0 && Char.equal name.[0] '.' then acc
+           else if String.equal name "_build" then acc
+           else collect acc (Filename.concat path name))
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+let missing_interface path =
+  (* R4: a compilation unit under lib/ without an interface leaks its whole
+     namespace and dodges review of its contract. *)
+  Filename.check_suffix path ".ml"
+  && r4_applies path
+  && not (Sys.file_exists (Filename.chop_suffix path ".ml" ^ ".mli"))
+
+let lint_files ?(only = all_rules) paths =
+  let files = List.fold_left collect [] paths |> List.sort String.compare in
+  let r4_enabled = List.exists (fun r -> String.equal (rule_name r) "R4") only in
+  List.concat_map
+    (fun file ->
+      let content_diags = lint_source ~only ~path:file (read_file file) in
+      if r4_enabled && missing_interface file then
+        { file; line = 1; col = 0; rule = R4;
+          msg = "missing interface: every .ml under lib/ must have a matching .mli" }
+        :: content_diags
+      else content_diags)
+    files
+  |> List.sort compare_diag

@@ -1,0 +1,46 @@
+(** fruitlint — repo-specific static-analysis rules for determinism and
+    protocol invariants.
+
+    The engine parses sources with compiler-libs (no typing pass, no ppx)
+    and reports violations of four repo rules:
+
+    - {b R1} determinism: no [Stdlib.Random], [Sys.time], [Unix.*] or
+      [Hashtbl.hash] outside [lib/util/rng.ml] and the allowlist.
+    - {b R2} no polymorphic compare/equality ([=], [<>], [==], [!=],
+      [compare]) in [lib/chain/], [lib/crypto/], [lib/core/].
+    - {b R3} total validation: no [failwith]/[invalid_arg]/[raise]/[assert]
+      in [lib/chain/validate.ml] and [lib/core/extract.ml].
+    - {b R4} interface completeness: every [.ml] under [lib/] has a
+      matching [.mli].
+
+    A comment containing ["fruitlint: allow R<n> [R<m> ...]"] suppresses
+    those rules on its own line and on the following line. *)
+
+type rule = R1 | R2 | R3 | R4
+
+val all_rules : rule list
+val rule_name : rule -> string
+val rule_of_string : string -> rule option
+
+type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+
+val pp_diag : Format.formatter -> diag -> unit
+(** Machine-readable ["file:line:col: [R] message"]. *)
+
+val compare_diag : diag -> diag -> int
+
+exception Lint_error of string
+(** Raised on I/O or parse failure (distinct from rule violations). *)
+
+val lint_source : ?only:rule list -> path:string -> string -> diag list
+(** [lint_source ~path content] lints one compilation unit given as a
+    string.  [path] determines which rules apply (scoping is by path
+    components, so ["fixtures/lib/chain/x.ml"] is scoped like
+    ["lib/chain/x.ml"]).  [.mli] sources are parsed for validity only.
+    R4 is not checked here (it needs the filesystem); use {!lint_files}. *)
+
+val lint_files : ?only:rule list -> string list -> diag list
+(** [lint_files paths] walks files and directories (skipping [_build] and
+    dot-directories), lints every [.ml]/[.mli], and additionally checks R4
+    for [.ml] files under a [lib] path component.  Results are sorted by
+    file, line, column. *)

@@ -1,0 +1,62 @@
+(* fruitlint CLI.  Usage:
+
+     fruitlint [--only R1,R2,...] PATH...
+
+   Lints every .ml/.mli under the given paths (default: lib bin bench)
+   and prints machine-readable "file:line:col: [R] message" diagnostics.
+   Exit 0 when clean, 1 on violations, 2 on usage/parse errors. *)
+
+module Lint = Fruitlint_lib.Lint
+
+let usage = "usage: fruitlint [--only R1,R2,...] PATH..."
+
+let parse_only spec =
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> not (String.equal s ""))
+  |> List.map (fun s ->
+         match Lint.rule_of_string (String.uppercase_ascii (String.trim s)) with
+         | Some r -> r
+         | None ->
+             prerr_endline ("fruitlint: unknown rule " ^ s);
+             prerr_endline usage;
+             exit 2)
+
+let () =
+  let only = ref Lint.all_rules in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--only" :: spec :: rest ->
+        only := parse_only spec;
+        parse_args rest
+    | "--only" :: [] ->
+        prerr_endline usage;
+        exit 2
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        prerr_endline ("fruitlint: no such path: " ^ p);
+        exit 2
+      end)
+    paths;
+  match Lint.lint_files ~only:!only paths with
+  | [] -> ()
+  | diags ->
+      List.iter (fun d -> Format.printf "%a@." Lint.pp_diag d) diags;
+      Format.eprintf "fruitlint: %d violation%s@." (List.length diags)
+        (if List.length diags = 1 then "" else "s");
+      exit 1
+  | exception Lint.Lint_error msg ->
+      prerr_endline ("fruitlint: " ^ msg);
+      exit 2
