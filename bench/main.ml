@@ -7,9 +7,11 @@
    Part 2 — the reproduction itself: every experiment E01–E17 at full
    scale, printing the tables and figures recorded in EXPERIMENTS.md.
 
-   Run with: dune exec bench/main.exe            (full, ~5 minutes)
+   Run with: dune exec bench/main.exe            (full, ~5 minutes at 1 job)
             dune exec bench/main.exe -- --quick  (reduced scale)
-            dune exec bench/main.exe -- --micro-only | --tables-only *)
+            dune exec bench/main.exe -- --micro-only | --tables-only
+            dune exec bench/main.exe -- --jobs N (worker domains for the
+            experiment sweeps; default: available cores, 1 = sequential) *)
 
 open Bechamel
 open Toolkit
@@ -25,6 +27,7 @@ module Merkle = Fruitchain_crypto.Merkle
 module Codec = Fruitchain_chain.Codec
 module Types = Fruitchain_chain.Types
 module Rng = Fruitchain_util.Rng
+module Pool = Fruitchain_util.Pool
 
 (* --- Part 1: micro-benchmarks ------------------------------------------ *)
 
@@ -218,25 +221,51 @@ let run_micro () =
 
 (* --- Part 2: the reproduction tables ------------------------------------ *)
 
+(* Wall-clock (as opposed to summed-across-domains cpu time, which Sys.time
+   reports): reporting only, never fed into the simulation.
+   fruitlint: allow R1 *)
+let now_s () = Unix.gettimeofday ()
+
 let run_tables scale =
-  Printf.printf "== reproduction: every table and figure (scale: %s) ==\n\n"
-    (match scale with Exp.Full -> "full" | Exp.Quick -> "quick");
+  Printf.printf "== reproduction: every table and figure (scale: %s, jobs: %d) ==\n\n"
+    (match scale with Exp.Full -> "full" | Exp.Quick -> "quick")
+    (Pool.default_jobs ());
+  let t_all = now_s () in
   List.iter
     (fun (module E : Exp.EXPERIMENT) ->
-      (* Wall-clock here only reports harness progress; it never feeds the
+      (* Timings here only report harness progress; they never feed the
          simulation. fruitlint: allow R1 *)
-      let t0 = Sys.time () in
+      let c0 = Sys.time () in
+      let t0 = now_s () in
       let outcome = E.run ~scale () in
       Exp.print Format.std_formatter outcome;
-      (* fruitlint: allow R1 *)
-      Printf.printf "(%s took %.1fs cpu)\n\n%!" E.id (Sys.time () -. t0))
-    Registry.all
+      Printf.printf "(%s took %.1fs wall, %.1fs cpu)\n\n%!" E.id
+        (now_s () -. t0)
+        (* fruitlint: allow R1 *)
+        (Sys.time () -. c0))
+    Registry.all;
+  Printf.printf "(all tables took %.1fs wall at %d jobs)\n%!"
+    (now_s () -. t_all)
+    (Pool.default_jobs ())
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let tables_only = List.mem "--tables-only" args in
+  (* --jobs N: worker domains for parallel experiment units; defaults to the
+     available cores, --jobs 1 restores the fully sequential path. *)
+  let rec parse_jobs = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Pool.set_default_jobs n
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+    | _ :: rest -> parse_jobs rest
+    | [] -> ()
+  in
+  parse_jobs args;
   let scale = if quick then Exp.Quick else Exp.Full in
   if not tables_only then run_micro ();
   if not micro_only then run_tables scale

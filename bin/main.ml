@@ -22,6 +22,24 @@ let scale_arg =
   in
   Term.(const (fun q -> if q then Exp.Quick else Exp.Full) $ quick)
 
+(* --jobs N: worker domains for the parallel experiment units (Runs.run_parallel
+   on Fruitchain_util.Pool). Results are byte-identical for every N; the flag
+   only changes wall-clock. *)
+let jobs_arg =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel experiment work units (default: available \
+             cores; 1 = fully sequential). Output is identical for every $(docv).")
+  in
+  Term.(
+    const (fun j ->
+        Option.iter (fun n -> Fruitchain_util.Pool.set_default_jobs n) j)
+    $ jobs)
+
 (* fruitchain list *)
 let list_cmd =
   let doc = "List the reproduction experiments (tables and figures)." in
@@ -42,7 +60,7 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV to $(docv).")
   in
-  let run scale csv id =
+  let run () scale csv id =
     match Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s; try `fruitchain list`\n" id;
@@ -58,13 +76,13 @@ let run_cmd =
             Printf.printf "csv written to %s\n" path)
           csv
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ scale_arg $ csv_arg $ id_arg)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ jobs_arg $ scale_arg $ csv_arg $ id_arg)
 
 (* fruitchain all [--quick] *)
 let all_cmd =
   let doc = "Run every experiment in order (the full reproduction)." in
-  let run scale = Registry.run_all ~scale Format.std_formatter in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg)
+  let run () scale = Registry.run_all ~scale Format.std_formatter in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ scale_arg)
 
 (* fruitchain sim --protocol fruitchain --rho 0.3 ... *)
 let sim_cmd =

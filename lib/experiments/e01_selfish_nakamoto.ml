@@ -46,16 +46,34 @@ let run ?(scale = Exp.Full) () =
         ]
       ()
   in
-  List.iter
-    (fun rho ->
-      let baseline =
-        let config = Runs.config ~protocol:Config.Nakamoto ~rho ~rounds ~params () in
-        coalition_block_share (Runs.run config ~strategy:Runs.honest_coalition ())
-      in
-      List.iter
-        (fun gamma ->
-          let config = Runs.config ~protocol:Config.Nakamoto ~rho ~rounds ~params () in
-          let share = coalition_block_share (Runs.run config ~strategy:(Runs.selfish ~gamma) ()) in
+  (* One work unit per simulation: the honest-mining baseline plus one per
+     gamma, for every rho. Units are merged back positionally (stride =
+     1 + |gammas| per rho). *)
+  let specs =
+    List.concat_map
+      (fun rho -> (rho, None) :: List.map (fun gamma -> (rho, Some gamma)) gammas)
+      rhos
+  in
+  let units =
+    List.map
+      (fun (rho, gamma) ~seed ->
+        let strategy =
+          match gamma with
+          | None -> Runs.honest_coalition
+          | Some gamma -> Runs.selfish ~gamma
+        in
+        let config = Runs.config ~protocol:Config.Nakamoto ~rho ~rounds ~params ~seed () in
+        coalition_block_share (Runs.run config ~strategy ()))
+      specs
+  in
+  let shares = Array.of_list (Runs.run_parallel ~master:1L units) in
+  let stride = 1 + List.length gammas in
+  List.iteri
+    (fun ri rho ->
+      let baseline = shares.(ri * stride) in
+      List.iteri
+        (fun gi gamma ->
+          let share = shares.((ri * stride) + 1 + gi) in
           Table.add_row table
             [
               Table.f2 rho;

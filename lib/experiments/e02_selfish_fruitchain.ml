@@ -50,24 +50,30 @@ let run ?(scale = Exp.Full) () =
         ]
       ()
   in
-  List.iter
-    (fun rho ->
-      List.iter
-        (fun gamma ->
-          let config = Runs.config ~protocol:Config.Fruitchain ~rho ~rounds ~params () in
-          let blocks, fruits =
-            shares (Runs.run config ~strategy:(Runs.selfish ~gamma) ())
-          in
-          Table.add_row table
-            [
-              Table.f2 rho;
-              Table.f2 gamma;
-              Table.fpct blocks;
-              Table.fpct fruits;
-              Table.f2 (fruits /. rho);
-            ])
-        gammas)
-    rhos;
+  (* One work unit per (rho, gamma) grid point; results merge back in grid
+     order. *)
+  let specs =
+    List.concat_map (fun rho -> List.map (fun gamma -> (rho, gamma)) gammas) rhos
+  in
+  let units =
+    List.map
+      (fun (rho, gamma) ~seed ->
+        let config = Runs.config ~protocol:Config.Fruitchain ~rho ~rounds ~params ~seed () in
+        shares (Runs.run config ~strategy:(Runs.selfish ~gamma) ()))
+      specs
+  in
+  List.iter2
+    (fun (rho, gamma) (blocks, fruits) ->
+      Table.add_row table
+        [
+          Table.f2 rho;
+          Table.f2 gamma;
+          Table.fpct blocks;
+          Table.fpct fruits;
+          Table.f2 (fruits /. rho);
+        ])
+    specs
+    (Runs.run_parallel ~master:2L units);
   {
     Exp.id;
     title;

@@ -42,15 +42,22 @@ let run ?(scale = Exp.Full) () =
         ]
       ()
   in
-  List.iter
-    (fun q ->
-      let rounds = rounds_for q in
-      let params = Exp.default_params ~p ~q:(float_of_int q) ~kappa:8 ~recency_r:4 () in
-      let config =
-        Runs.config ~protocol:Config.Fruitchain ~n ~rho:0.0 ~rounds ~params ~seed:7L ()
-      in
-      let trace = Runs.run config ~strategy:Runs.null_delay () in
-      let s = Rewards.summarize trace ~miner:0 ~slices:20 in
+  (* One independent trial per q (the variance sweep), fanned out on the
+     worker pool with per-unit derived seeds. *)
+  let units =
+    List.map
+      (fun q ~seed ->
+        let rounds = rounds_for q in
+        let params = Exp.default_params ~p ~q:(float_of_int q) ~kappa:8 ~recency_r:4 () in
+        let config =
+          Runs.config ~protocol:Config.Fruitchain ~n ~rho:0.0 ~rounds ~params ~seed ()
+        in
+        let trace = Runs.run config ~strategy:Runs.null_delay () in
+        (rounds, Rewards.summarize trace ~miner:0 ~slices:20))
+      qs
+  in
+  List.iter2
+    (fun q (rounds, s) ->
       Table.add_row table
         [
           Table.int q;
@@ -60,7 +67,8 @@ let run ?(scale = Exp.Full) () =
           Table.f2 s.Rewards.mean_interval;
           Table.f4 s.Rewards.income_cv;
         ])
-    qs;
+    qs
+    (Runs.run_parallel ~master:7L units);
   {
     Exp.id;
     title;

@@ -46,27 +46,40 @@ let run ?(scale = Exp.Full) () =
         ]
       ()
   in
-  List.iter
-    (fun rho ->
-      List.iter
-        (fun (name, strategy) ->
-          let share protocol =
-            let config = Runs.config ~protocol ~rho ~rounds ~params ~seed:16L () in
-            Runs.run config ~strategy ()
-          in
-          let nak =
+  (* One work unit per (rho, strategy, protocol): each of the two protocol
+     runs behind a row is independent, so the stride per row is 2 —
+     Nakamoto block share first, FruitChain fruit share second. *)
+  let specs =
+    List.concat_map
+      (fun rho -> List.map (fun strat -> (rho, strat)) (strategies gamma))
+      rhos
+  in
+  let units =
+    List.concat_map
+      (fun (rho, (_name, strategy)) ->
+        let trace protocol ~seed =
+          let config = Runs.config ~protocol ~rho ~rounds ~params ~seed () in
+          Runs.run config ~strategy ()
+        in
+        [
+          (fun ~seed ->
             Quality.adversarial_fraction
-              (Quality.block_shares (Trace.honest_final_chain (share Config.Nakamoto)))
-          in
-          let fc =
+              (Quality.block_shares (Trace.honest_final_chain (trace Config.Nakamoto ~seed))));
+          (fun ~seed ->
             Quality.adversarial_fraction
               (Quality.fruit_shares
-                 (Extract.fruits_of_chain (Trace.honest_final_chain (share Config.Fruitchain))))
-          in
-          Table.add_row table
-            [ Table.f2 rho; name; Table.fpct nak; Table.fpct fc; Table.f2 (fc /. rho) ])
-        (strategies gamma))
-    rhos;
+                 (Extract.fruits_of_chain
+                    (Trace.honest_final_chain (trace Config.Fruitchain ~seed)))));
+        ])
+      specs
+  in
+  let shares = Array.of_list (Runs.run_parallel ~master:16L units) in
+  List.iteri
+    (fun i (rho, (name, _strategy)) ->
+      let nak = shares.(2 * i) and fc = shares.((2 * i) + 1) in
+      Table.add_row table
+        [ Table.f2 rho; name; Table.fpct nak; Table.fpct fc; Table.f2 (fc /. rho) ])
+    specs;
   {
     Exp.id;
     title;

@@ -43,34 +43,51 @@ let run ?(scale = Exp.Full) () =
         ]
       ()
   in
-  List.iter
-    (fun r ->
-      let params = Exp.default_params ~recency_r:r () in
-      let window = Params.recency_window params in
-      let run_with strategy =
-        let config = Runs.config ~protocol:Config.Fruitchain ~rho ~rounds ~params ~seed:17L () in
-        Runs.run config ~strategy ()
-      in
-      (* Side 1: block-erasing selfish mining. Small windows lose slow
-         honest fruits — visible as a depressed ledger rate and an inflated
-         adversary share. *)
-      let selfish_trace = run_with (Runs.selfish ~gamma:1.0) in
-      let rate = Growth.fruit_ledger_rate selfish_trace in
-      let selfish_share =
-        Quality.adversarial_fraction
-          (Quality.fruit_shares
-             (Extract.fruits_of_chain (Trace.honest_final_chain selfish_trace)))
-      in
-      (* Side 2: hoard-and-burst, hoarding for about two windows' worth of
-         rounds — large R lets more of the hoard land. *)
-      let hoard_rounds = max 500 (2 * window * 25) in
-      let hoard_trace = run_with (Runs.withholder ~release_interval:hoard_rounds) in
-      let fruits = Extract.fruits_of_chain (Trace.honest_final_chain hoard_trace) in
-      let hoard_share = Quality.adversarial_fraction (Quality.fruit_shares fruits) in
-      let worst =
-        Quality.worst_window_fraction (Quality.honesty_flags_of_fruits fruits) ~window:250
-          `Adversarial
-      in
+  (* Two independent work units per R — one per attack side — merged back
+     with stride 2. Each side returns its own pair of columns. *)
+  let units =
+    List.concat_map
+      (fun r ->
+        let params = Exp.default_params ~recency_r:r () in
+        let window = Params.recency_window params in
+        let run_with strategy ~seed =
+          let config = Runs.config ~protocol:Config.Fruitchain ~rho ~rounds ~params ~seed () in
+          Runs.run config ~strategy ()
+        in
+        [
+          (* Side 1: block-erasing selfish mining. Small windows lose slow
+             honest fruits — visible as a depressed ledger rate and an
+             inflated adversary share. *)
+          (fun ~seed ->
+            let trace = run_with (Runs.selfish ~gamma:1.0) ~seed in
+            let rate = Growth.fruit_ledger_rate trace in
+            let share =
+              Quality.adversarial_fraction
+                (Quality.fruit_shares
+                   (Extract.fruits_of_chain (Trace.honest_final_chain trace)))
+            in
+            (rate, share));
+          (* Side 2: hoard-and-burst, hoarding for about two windows' worth
+             of rounds — large R lets more of the hoard land. *)
+          (fun ~seed ->
+            let hoard_rounds = max 500 (2 * window * 25) in
+            let trace = run_with (Runs.withholder ~release_interval:hoard_rounds) ~seed in
+            let fruits = Extract.fruits_of_chain (Trace.honest_final_chain trace) in
+            let share = Quality.adversarial_fraction (Quality.fruit_shares fruits) in
+            let worst =
+              Quality.worst_window_fraction (Quality.honesty_flags_of_fruits fruits)
+                ~window:250 `Adversarial
+            in
+            (share, worst));
+        ])
+      rs
+  in
+  let results = Array.of_list (Runs.run_parallel ~master:17L units) in
+  List.iteri
+    (fun i r ->
+      let window = Params.recency_window (Exp.default_params ~recency_r:r ()) in
+      let rate, selfish_share = results.(2 * i) in
+      let hoard_share, worst = results.((2 * i) + 1) in
       Table.add_row table
         [
           Table.int r;

@@ -6,6 +6,8 @@ type scale = Quick | Full
 let rounds scale ~full =
   match scale with Full -> full | Quick -> max 2_000 (full / 5)
 
+type 'a work_unit = seed:int64 -> 'a
+
 type outcome = {
   id : string;
   title : string;

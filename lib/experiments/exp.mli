@@ -14,6 +14,14 @@ type scale = Quick | Full
 val rounds : scale -> full:int -> int
 (** [full] at [Full]; a fifth of it (at least 2_000) at [Quick]. *)
 
+type 'a work_unit = seed:int64 -> 'a
+(** One independent work unit of an experiment — a trial or sweep point,
+    closed over everything except its RNG seed. The runner
+    ([Runs.run_parallel]) derives unit [i]'s seed as
+    [Rng.derive master ~index:i], so a unit's stream depends only on the
+    master seed and the unit's position, never on scheduling. Units must
+    not mutate state shared with other units. *)
+
 type outcome = {
   id : string;
   title : string;

@@ -40,3 +40,9 @@ let honest_coalition : (module Strategy.S) = (module Adversary.Honest_coalition.
 let null_delay : (module Strategy.S) = (module Adversary.Delays.Null_max)
 
 let run config ~strategy ?workload () = Engine.run ~config ~strategy ?workload ()
+
+let run_parallel ?jobs ~master units =
+  let units = Array.of_list units in
+  Fruitchain_util.Pool.map ?jobs (Array.length units) ~f:(fun i ->
+      (units.(i)) ~seed:(Fruitchain_util.Rng.derive master ~index:i))
+  |> Array.to_list

@@ -29,3 +29,12 @@ val null_delay : (module Strategy.S)
 val run :
   Config.t -> strategy:(module Strategy.S) -> ?workload:Engine.workload -> unit ->
   Trace.t
+
+val run_parallel : ?jobs:int -> master:int64 -> 'a Exp.work_unit list -> 'a list
+(** [run_parallel ~master units] executes the units on the
+    [Fruitchain_util.Pool] worker pool ([?jobs] defaults to the ambient
+    [Pool.default_jobs ()], i.e. the CLI [--jobs] setting or the available
+    cores) and returns the results {e in input order}. Unit [i] receives
+    the seed [Rng.derive master ~index:i], so the result list is a pure
+    function of [master] and the units — byte-identical whether it ran on
+    one worker or sixteen. *)

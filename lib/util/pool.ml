@@ -1,0 +1,68 @@
+(* Deterministic work-stealing worker pool on OCaml 5 domains.
+
+   Units are claimed by atomically fetching the next unclaimed index from a
+   shared counter (greedy self-scheduling: an idle worker steals the next
+   unit no matter which worker "should" have taken it), and every result is
+   written to the slot of its unit index. Each slot is written by exactly
+   one domain and read only after every worker has been joined, so the
+   joins provide the necessary happens-before edges and no per-slot
+   synchronisation is needed. The merged output is a pure function of the
+   unit functions — never of the schedule. *)
+
+let available () = Domain.recommended_domain_count ()
+
+(* 0 means "unset": fall back to the hardware count. *)
+let default = Atomic.make 0
+
+let default_jobs () =
+  let d = Atomic.get default in
+  if d <= 0 then available () else d
+
+let set_default_jobs n = Atomic.set default (max 1 n)
+
+let sequential n ~f =
+  if n = 0 then [||]
+  else begin
+    (* Explicit ascending loop: the sequential path is the determinism
+       reference, so leave no evaluation order to library discretion. *)
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let map ?jobs n ~f =
+  if n < 0 then invalid_arg "Pool.map: negative unit count";
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 then sequential n ~f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = match f i with v -> Ok v | exception exn -> Error exn in
+        results.(i) <- Some r;
+        worker ()
+      end
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    (* Re-raise the lowest-indexed failure (Array.mapi visits slots in
+       ascending order), so errors are as deterministic as results. *)
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some (Ok v) -> v
+        | Some (Error exn) -> raise exn
+        | None ->
+            invalid_arg (Printf.sprintf "Pool.map: unit %d was never executed" i))
+      results
+  end
+
+let map_list ?jobs ~f xs =
+  let xs = Array.of_list xs in
+  Array.to_list (map ?jobs (Array.length xs) ~f:(fun i -> f xs.(i)))

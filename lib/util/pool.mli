@@ -1,0 +1,51 @@
+(** Deterministic work-stealing worker pool on OCaml 5 domains.
+
+    The experiment layer decomposes sweeps and trial batches into
+    {e independent work units}: closures that depend only on their unit
+    index and an explicitly derived per-unit RNG seed (see {!Rng.derive}).
+    This module fans such units out across domains and merges the results
+    {e by unit index}, so the output is identical — byte for byte — to a
+    sequential run, regardless of how the scheduler interleaves workers.
+
+    Scheduling is dynamic: workers repeatedly steal the next unclaimed
+    unit index from a shared atomic counter, so a slow unit (a long sweep
+    point) never stalls the queue behind it. Determinism survives because
+    scheduling only decides {e which domain} computes a unit, never
+    {e what} the unit computes (units share no mutable state and derive
+    their randomness from their index alone), and the merge order is the
+    index order, not the completion order.
+
+    This is the single place in the tree where [Domain]/[Atomic] (and the
+    other concurrency primitives) may appear — fruitlint rule R5 enforces
+    the confinement. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()]: how many domains the hardware
+    usefully supports. *)
+
+val default_jobs : unit -> int
+(** The ambient worker count used when [?jobs] is omitted: initially
+    {!available}[ ()], overridable with {!set_default_jobs} (the [--jobs]
+    flag of [bench/main.exe] and the CLI). *)
+
+val set_default_jobs : int -> unit
+(** Clamped to at least 1. [set_default_jobs 1] restores fully sequential
+    execution in the calling domain (no domains are spawned). *)
+
+val map : ?jobs:int -> int -> f:(int -> 'a) -> 'a array
+(** [map n ~f] evaluates [f i] for every [i] in [0 .. n-1] on
+    [min jobs n] domains and returns [[| f 0; f 1; ...; f (n-1) |]].
+
+    [f] must be safe to run in any domain: it must not mutate state shared
+    with other units (reading shared immutable data is fine). If any unit
+    raises, the exception of the {e lowest-indexed} failing unit is
+    re-raised after all workers have drained — so failures, too, are
+    deterministic under scheduling.
+
+    With [jobs = 1] (or [n <= 1]) the units run in the calling domain, in
+    index order, with no concurrency machinery at all — exactly the
+    historical sequential behaviour. *)
+
+val map_list : ?jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~f xs] is {!map} over the elements of [xs], preserving
+    order. *)

@@ -40,6 +40,21 @@ let bits64 g =
   result
 
 let split g = of_seed (bits64 g)
+
+let derive master ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  let open Int64 in
+  let mix z =
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+  in
+  (* [index |-> master + (index+1)*odd] is injective mod 2^64 and the
+     splitmix64 finalizer is a bijection, so for a fixed master all derived
+     seeds are pairwise distinct; two finalizer rounds decorrelate seeds of
+     adjacent indices. Purity (no generator state) is what makes the
+     derivation independent of unit execution order. *)
+  mix (mix (add master (mul (of_int (index + 1)) 0x9e3779b97f4a7c15L)))
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
 let float g =

@@ -25,6 +25,16 @@ val split : t -> t
     adversary and oracle its own stream so that adding draws to one component
     does not perturb the others. *)
 
+val derive : int64 -> index:int -> int64
+(** [derive master ~index] is the seed of work unit [index] under the
+    master seed [master] — a pure function (no generator state), so the
+    derivation cannot depend on the order in which units execute, and for
+    a fixed master all derived seeds are pairwise distinct (the index map
+    is injective and the splitmix64 finalizer a bijection). This is how
+    the parallel experiment runner ({!Pool}, [Runs.run_parallel]) gives
+    every trial and sweep point its own independent stream. [index] must
+    be non-negative. *)
+
 val copy : t -> t
 (** [copy g] duplicates the current state (the two generators then emit the
     same stream). Useful in tests. *)

@@ -1,0 +1,6 @@
+(* R5 fixture: every concurrency primitive outside lib/util/pool.ml fires. *)
+let d = Domain.spawn (fun () -> 1)
+let a = Atomic.make 0
+let m = Mutex.create ()
+let c = Condition.create ()
+let s = Stdlib.Domain.self ()

@@ -1,0 +1,7 @@
+(* R5 fixture: pool-mediated parallelism and suppressed escapes pass. *)
+let results = Fruitchain_util.Pool.map 4 ~f:(fun i -> i * i)
+
+(* fruitlint: allow R5 *)
+let blessed = Atomic.make 1
+
+let domainless = "a module path mentioning Domain in a string is fine"

@@ -1,0 +1,24 @@
+(* Golden-table generator: prints the rendered Quick-scale outcome of one
+   experiment, exactly as bench/main.exe renders it. Used by the runtest
+   diff rules in test/dune against the snapshots in test/fixtures/golden/;
+   on an intentional table change, `dune promote` refreshes the snapshot.
+   Runs at jobs=2 so every golden check also exercises the parallel path —
+   by the determinism contract (test_determinism.ml) the bytes are the same
+   at any worker count. *)
+
+module Exp = Fruitchain_experiments.Exp
+module Registry = Fruitchain_experiments.Registry
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; id ] -> (
+      Fruitchain_util.Pool.set_default_jobs 2;
+      match Registry.find id with
+      | None ->
+          prerr_endline ("golden_gen: unknown experiment " ^ id);
+          exit 2
+      | Some (module E) ->
+          print_string (Format.asprintf "%a" Exp.print (E.run ~scale:Exp.Quick ())))
+  | _ ->
+      prerr_endline "usage: golden_gen EXX";
+      exit 2

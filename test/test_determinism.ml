@@ -1,0 +1,56 @@
+(* Determinism regression suite for the parallel experiment runner.
+
+   The contract of Fruitchain_util.Pool + Runs.run_parallel is that worker
+   count and scheduling are invisible in results: for every registered
+   experiment, the rendered outcome (title, claim, table, notes — the exact
+   bytes bench/main.exe prints) must be identical between --jobs 1 (the
+   fully sequential path, no domains spawned) and --jobs 4, and stable
+   across repeated runs under the same master seed. Experiments that do not
+   fan out units yet pass trivially; they stay in the suite so that any
+   future conversion is born covered. *)
+
+module Exp = Fruitchain_experiments.Exp
+module Registry = Fruitchain_experiments.Registry
+module Pool = Fruitchain_util.Pool
+
+let render ~jobs (module E : Exp.EXPERIMENT) =
+  Pool.set_default_jobs jobs;
+  let outcome = E.run ~scale:Exp.Quick () in
+  Format.asprintf "%a" Exp.print outcome
+
+(* The experiments that actually emit parallel work units (the sweeps);
+   these get the extra repeated-run check at jobs=4, where scheduling noise
+   would show up if any unit drew from shared state. *)
+let parallel_ids = [ "E01"; "E02"; "E03"; "E07"; "E16"; "E17"; "E18" ]
+
+let test_jobs_invariance (module E : Exp.EXPERIMENT) () =
+  let sequential = render ~jobs:1 (module E) in
+  let parallel = render ~jobs:4 (module E) in
+  Alcotest.(check string)
+    (E.id ^ ": --jobs 1 and --jobs 4 render byte-identically")
+    sequential parallel
+
+let test_repeat_stability (module E : Exp.EXPERIMENT) () =
+  let first = render ~jobs:4 (module E) in
+  let second = render ~jobs:4 (module E) in
+  Alcotest.(check string)
+    (E.id ^ ": two jobs=4 runs under the same master seed are identical")
+    first second
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "jobs invariance (quick scale)",
+        List.map
+          (fun (module E : Exp.EXPERIMENT) ->
+            Alcotest.test_case E.id `Slow (test_jobs_invariance (module E)))
+          Registry.all );
+      ( "repeat stability (parallel sweeps)",
+        List.filter_map
+          (fun id ->
+            Option.map
+              (fun (module E : Exp.EXPERIMENT) ->
+                Alcotest.test_case E.id `Slow (test_repeat_stability (module E)))
+              (Registry.find id))
+          parallel_ids );
+    ]

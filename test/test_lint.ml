@@ -68,6 +68,31 @@ let test_r4 () =
     [ (fx "r4/lib/missing_mli.ml", 1, "R4") ]
     (Lint.lint_files ~only:[ Lint.R4 ] [ fx "r4" ])
 
+(* --- R5: concurrency confinement -------------------------------------- *)
+
+let test_r5_fires () =
+  let file = fx "lib/sim/r5_bad.ml" in
+  check_diags "Domain, Atomic, Mutex, Condition, Stdlib.Domain all flagged"
+    [ (file, 2, "R5"); (file, 3, "R5"); (file, 4, "R5"); (file, 5, "R5"); (file, 6, "R5") ]
+    (Lint.lint_files ~only:[ Lint.R5 ] [ file ])
+
+let test_r5_clean () =
+  check_diags "pool-mediated parallelism and suppression pass" []
+    (Lint.lint_files ~only:[ Lint.R5 ] [ fx "lib/sim/r5_ok.ml" ])
+
+let test_r5_allowlist () =
+  (* The worker pool is the one blessed home for concurrency primitives. *)
+  check_diags "lib/util/pool.ml is allowlisted" []
+    (Lint.lint_source ~only:[ Lint.R5 ] ~path:"lib/util/pool.ml"
+       "let d = Domain.spawn (fun () -> Atomic.make 0)")
+
+let test_r5_module_alias () =
+  (* The module_expr path: [module D = Domain] smuggles the primitive in. *)
+  Alcotest.(check (list string)) "module alias is flagged" [ "R5" ]
+    (List.map
+       (fun (d : Lint.diag) -> Lint.rule_name d.rule)
+       (Lint.lint_source ~only:[ Lint.R5 ] ~path:"lib/sim/x.ml" "module D = Domain"))
+
 (* --- Suppression parsing --------------------------------------------- *)
 
 let test_suppression_is_per_rule () =
@@ -141,6 +166,13 @@ let () =
           Alcotest.test_case "clean" `Quick test_r3_clean;
         ] );
       ("R4 interfaces", [ Alcotest.test_case "missing mli" `Quick test_r4 ]);
+      ( "R5 concurrency confinement",
+        [
+          Alcotest.test_case "fires" `Quick test_r5_fires;
+          Alcotest.test_case "clean" `Quick test_r5_clean;
+          Alcotest.test_case "allowlist" `Quick test_r5_allowlist;
+          Alcotest.test_case "module alias" `Quick test_r5_module_alias;
+        ] );
       ( "suppression",
         [
           Alcotest.test_case "per rule" `Quick test_suppression_is_per_rule;

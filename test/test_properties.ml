@@ -248,6 +248,50 @@ let qcheck_retarget_clamped =
       let p' = Retarget.next_p params ~current_p:p ~epoch_duration:duration in
       p' > 0.0 && p' <= 1.0 && p' >= (p /. 4.0) -. 1e-12 && p' <= (p *. 4.0) +. 1e-12)
 
+(* --- Parallel-runner seed derivation (Rng.derive + Pool) --------------- *)
+
+let qcheck_derive_order_independent_and_distinct =
+  QCheck.Test.make
+    ~name:"rng: unit seeds stable under execution-order permutation, pairwise distinct"
+    ~count:200
+    QCheck.(pair int64 (int_range 2 64))
+    (fun (master, n) ->
+      let in_order = Array.init n (fun i -> Rng.derive master ~index:i) in
+      (* Re-derive in a master-dependent random permutation of the indices:
+         the seed a unit receives must not depend on when it executes. *)
+      let perm = Array.init n Fun.id in
+      let shuffle_rng = Rng.of_seed (Int64.lognot master) in
+      for i = n - 1 downto 1 do
+        let j = Rng.int shuffle_rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let permuted = Array.make n 0L in
+      Array.iter (fun i -> permuted.(i) <- Rng.derive master ~index:i) perm;
+      permuted = in_order
+      && List.length (List.sort_uniq Int64.compare (Array.to_list in_order)) = n)
+
+let qcheck_derive_streams_no_reuse =
+  QCheck.Test.make
+    ~name:"rng: streams of derived unit seeds are pairwise distinct (no reuse)" ~count:100
+    QCheck.(pair int64 (int_range 2 32))
+    (fun (master, n) ->
+      let prefix i =
+        let g = Rng.of_seed (Rng.derive master ~index:i) in
+        List.init 4 (fun _ -> Rng.bits64 g)
+      in
+      let prefixes = List.init n prefix in
+      List.length (List.sort_uniq compare prefixes) = n)
+
+let qcheck_pool_map_schedule_invariant =
+  QCheck.Test.make
+    ~name:"pool: map at any worker count equals the sequential reference" ~count:50
+    QCheck.(pair int64 (pair (int_range 0 48) (int_range 2 6)))
+    (fun (master, (n, jobs)) ->
+      let f i = Rng.bits64 (Rng.of_seed (Rng.derive master ~index:i)) in
+      Fruitchain_util.Pool.map ~jobs n ~f = Fruitchain_util.Pool.map ~jobs:1 n ~f)
+
 let qcheck_store_heights_consistent =
   QCheck.Test.make ~name:"store: heights equal list positions" ~count:30
     (QCheck.int_bound 1000) (fun seed ->
@@ -274,6 +318,9 @@ let () =
             qcheck_worst_window_bounds;
             qcheck_selfish_theory_bounds;
             qcheck_retarget_clamped;
+            qcheck_derive_order_independent_and_distinct;
+            qcheck_derive_streams_no_reuse;
+            qcheck_pool_map_schedule_invariant;
             qcheck_store_heights_consistent;
           ] );
     ]

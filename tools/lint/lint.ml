@@ -13,20 +13,31 @@
          lib/chain/validate.ml and lib/core/extract.ml — hot validation
          paths must return [result].
      R4  interface completeness: every .ml under lib/ has a matching .mli.
+     R5  concurrency confinement: Domain/Atomic/Mutex/Condition may appear
+         only in lib/util/pool.ml — everything else goes through the
+         deterministic worker pool (Fruitchain_util.Pool), so scheduling
+         can never leak into results.
 
    Suppression: a comment containing "fruitlint: allow R<n> [R<m> ...]"
    silences those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5
 
-let all_rules = [ R1; R2; R3; R4 ]
-let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
 
 let rule_of_string = function
   | "R1" -> Some R1
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
+  | "R5" -> Some R5
   | _ -> None
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -93,6 +104,13 @@ let r3_applies path =
   List.exists (fun f -> contains_sublist f cs) r3_files
 
 let r4_applies path = contains_sublist [ "lib" ] (components path)
+
+(* Concurrency confinement: the deterministic worker pool is the single
+   place allowed to touch domains and their synchronisation primitives. *)
+let r5_allowlist = [ [ "lib"; "util"; "pool.ml" ] ]
+
+let r5_applies path =
+  not (List.exists (fun a -> contains_sublist a (components path)) r5_allowlist)
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments.  [suppressions content] maps a (line, rule) pair
@@ -173,6 +191,16 @@ let r3_violation lid =
       Some (Printf.sprintf "%s in a total-validation hot path; return a [result] instead" f)
   | _ -> None
 
+let r5_violation lid =
+  match strip_stdlib (flatten lid) with
+  | (("Domain" | "Atomic" | "Mutex" | "Condition") as m) :: _ ->
+      Some
+        (Printf.sprintf
+           "%s.* is confined to lib/util/pool.ml; express parallel work as index-seeded \
+            units and run them through Fruitchain_util.Pool"
+           m)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* AST traversal. *)
 
@@ -182,6 +210,7 @@ let lint_structure ~path ~only structure =
   let r1 = enabled R1 && r1_applies path in
   let r2 = enabled R2 && r2_applies path in
   let r3 = enabled R3 && r3_applies path in
+  let r5 = enabled R5 && r5_applies path in
   let push (loc : Location.t) rule msg =
     let p = loc.loc_start in
     diags := { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: !diags
@@ -189,7 +218,8 @@ let lint_structure ~path ~only structure =
   let check_ident loc lid =
     if r1 then Option.iter (push loc R1) (r1_violation lid);
     if r2 then Option.iter (push loc R2) (r2_violation lid);
-    if r3 then Option.iter (push loc R3) (r3_violation lid)
+    if r3 then Option.iter (push loc R3) (r3_violation lid);
+    if r5 then Option.iter (push loc R5) (r5_violation lid)
   in
   let super = Ast_iterator.default_iterator in
   let expr self (e : Parsetree.expression) =
@@ -202,9 +232,10 @@ let lint_structure ~path ~only structure =
   in
   let module_expr self (m : Parsetree.module_expr) =
     (match m.pmod_desc with
-    | Pmod_ident { txt; _ } when r1 ->
-        (* Catches [open Unix], [module R = Random], [include Unix]. *)
-        Option.iter (push m.pmod_loc R1) (r1_violation txt)
+    | Pmod_ident { txt; _ } ->
+        (* Catches [open Unix], [module R = Random], [include Domain]. *)
+        if r1 then Option.iter (push m.pmod_loc R1) (r1_violation txt);
+        if r5 then Option.iter (push m.pmod_loc R5) (r5_violation txt)
     | _ -> ());
     super.module_expr self m
   in

@@ -12,11 +12,14 @@
       in [lib/chain/validate.ml] and [lib/core/extract.ml].
     - {b R4} interface completeness: every [.ml] under [lib/] has a
       matching [.mli].
+    - {b R5} concurrency confinement: [Domain]/[Atomic]/[Mutex]/[Condition]
+      only in [lib/util/pool.ml] — all other parallelism goes through the
+      deterministic worker pool ([Fruitchain_util.Pool]).
 
     A comment containing ["fruitlint: allow R<n> [R<m> ...]"] suppresses
     those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5
 
 val all_rules : rule list
 val rule_name : rule -> string
