@@ -11,7 +11,13 @@
             dune exec bench/main.exe -- --quick  (reduced scale)
             dune exec bench/main.exe -- --micro-only | --tables-only
             dune exec bench/main.exe -- --jobs N (worker domains for the
-            experiment sweeps; default: available cores, 1 = sequential) *)
+            experiment sweeps; default: available cores, 1 = sequential)
+            dune exec bench/main.exe -- --json PATH    (machine-readable
+            BENCH.json telemetry: schema fruitchains-bench/1)
+            dune exec bench/main.exe -- --trace PATH   (JSONL event trace
+            of the reproduction runs)
+            dune exec bench/main.exe -- --metrics PATH (deterministic
+            metric dump of the reproduction runs) *)
 
 open Bechamel
 open Toolkit
@@ -28,6 +34,11 @@ module Codec = Fruitchain_chain.Codec
 module Types = Fruitchain_chain.Types
 module Rng = Fruitchain_util.Rng
 module Pool = Fruitchain_util.Pool
+module Clock = Fruitchain_obs.Clock
+module Metrics = Fruitchain_obs.Metrics
+module Tracer = Fruitchain_obs.Tracer
+module Scope = Fruitchain_obs.Scope
+module Json = Fruitchain_obs.Json
 
 (* --- Part 1: micro-benchmarks ------------------------------------------ *)
 
@@ -221,32 +232,79 @@ let run_micro () =
 
 (* --- Part 2: the reproduction tables ------------------------------------ *)
 
-(* Wall-clock (as opposed to summed-across-domains cpu time, which Sys.time
-   reports): reporting only, never fed into the simulation.
-   fruitlint: allow R1 *)
-let now_s () = Unix.gettimeofday ()
-
+(* Wall-clock and cpu time via the blessed clock home (Obs.Clock): reporting
+   and telemetry only, never fed into the simulation. Returns per-experiment
+   timings plus the total, for BENCH.json. *)
 let run_tables scale =
   Printf.printf "== reproduction: every table and figure (scale: %s, jobs: %d) ==\n\n"
     (match scale with Exp.Full -> "full" | Exp.Quick -> "quick")
     (Pool.default_jobs ());
-  let t_all = now_s () in
-  List.iter
-    (fun (module E : Exp.EXPERIMENT) ->
-      (* Timings here only report harness progress; they never feed the
-         simulation. fruitlint: allow R1 *)
-      let c0 = Sys.time () in
-      let t0 = now_s () in
-      let outcome = E.run ~scale () in
-      Exp.print Format.std_formatter outcome;
-      Printf.printf "(%s took %.1fs wall, %.1fs cpu)\n\n%!" E.id
-        (now_s () -. t0)
-        (* fruitlint: allow R1 *)
-        (Sys.time () -. c0))
-    Registry.all;
-  Printf.printf "(all tables took %.1fs wall at %d jobs)\n%!"
-    (now_s () -. t_all)
-    (Pool.default_jobs ())
+  let t_all = Clock.now_s () in
+  let timings =
+    List.map
+      (fun (module E : Exp.EXPERIMENT) ->
+        let c0 = Clock.cpu_s () in
+        let t0 = Clock.now_s () in
+        let outcome = E.run ~scale () in
+        Exp.print Format.std_formatter outcome;
+        let wall = Clock.now_s () -. t0 and cpu = Clock.cpu_s () -. c0 in
+        Printf.printf "(%s took %.1fs wall, %.1fs cpu)\n\n%!" E.id wall cpu;
+        (E.id, wall, cpu))
+      Registry.all
+  in
+  let total = Clock.now_s () -. t_all in
+  Printf.printf "(all tables took %.1fs wall at %d jobs)\n%!" total (Pool.default_jobs ());
+  (timings, total)
+
+(* The throughput figure of BENCH.json: instrumented simulator events the
+   reproduction performed (oracle queries dominate; deliveries, mints and
+   probes ride along). A pure function of the golden counters, so it is
+   identical at every worker count — only events_per_sec varies. *)
+let events_total m =
+  List.fold_left
+    (fun acc name -> acc + Option.value ~default:0 (Metrics.get_counter m name))
+    0
+    [
+      "oracle.queries";
+      "net.delivered";
+      "sim.mint.fruit.honest";
+      "sim.mint.fruit.adversary";
+      "sim.mint.block.honest";
+      "sim.mint.block.adversary";
+      "sim.probes";
+    ]
+
+let bench_json ~scale ~jobs ~timings ~total ~registry ~tracer =
+  Json.Obj
+    [
+      ("schema", Json.Str "fruitchains-bench/1");
+      ("scale", Json.Str (match scale with Exp.Full -> "full" | Exp.Quick -> "quick"));
+      ("jobs", Json.Int jobs);
+      ("total_wall_s", Json.Float total);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, wall, cpu) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str id);
+                   ("wall_s", Json.Float wall);
+                   ("cpu_s", Json.Float cpu);
+                 ])
+             timings) );
+      ("events", Json.Int (events_total registry));
+      ( "events_per_sec",
+        Json.Float (if total > 0.0 then float_of_int (events_total registry) /. total else 0.0)
+      );
+      ( "trace",
+        Json.Obj
+          [
+            ("enabled", Json.Bool (match tracer with Some _ -> true | None -> false));
+            ( "lines",
+              Json.Int (match tracer with Some t -> Tracer.emitted t | None -> 0) );
+          ] );
+      ("metrics", Metrics.to_json registry);
+    ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -266,6 +324,46 @@ let () =
     | [] -> ()
   in
   parse_jobs args;
+  let path_opt flag =
+    let rec go = function
+      | f :: p :: _ when f = flag -> Some p
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let json_path = path_opt "--json" in
+  let trace_path = path_opt "--trace" in
+  let metrics_path = path_opt "--metrics" in
   let scale = if quick then Exp.Quick else Exp.Full in
   if not tables_only then run_micro ();
-  if not micro_only then run_tables scale
+  if not micro_only then begin
+    (* The reproduction runs under a fruitscope scope so BENCH.json can
+       carry a metric snapshot. Installed around the tables only — the
+       micro-benchmarks repeat their kernels thousands of times and would
+       drown the reproduction's counts. *)
+    let registry = Metrics.create () in
+    let tracer = Option.map Tracer.to_file trace_path in
+    Pool.set_scope (Scope.make ~metrics:registry ?tracer ());
+    let timings, total = run_tables scale in
+    Pool.set_scope Scope.null;
+    Option.iter Tracer.close tracer;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Metrics.dump registry);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics written to %s\n%!" path)
+      metrics_path;
+    Option.iter
+      (fun path ->
+        let jobs = Pool.default_jobs () in
+        let doc = bench_json ~scale ~jobs ~timings ~total ~registry ~tracer in
+        let oc = open_out path in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "bench telemetry written to %s\n%!" path)
+      json_path
+  end

@@ -15,6 +15,11 @@ module Extract = Fruitchain_core.Extract
 module Snapshot = Fruitchain_chain.Snapshot
 module Store = Fruitchain_chain.Store
 module Types = Fruitchain_chain.Types
+module Pool = Fruitchain_util.Pool
+module Metrics = Fruitchain_obs.Metrics
+module Tracer = Fruitchain_obs.Tracer
+module Scope = Fruitchain_obs.Scope
+module Report = Fruitchain_obs.Report
 
 let scale_arg =
   let quick =
@@ -40,6 +45,53 @@ let jobs_arg =
         Option.iter (fun n -> Fruitchain_util.Pool.set_default_jobs n) j)
     $ jobs)
 
+(* --metrics FILE / --trace FILE: fruitscope observability. The scope is
+   installed as the calling domain's ambient scope (Pool.set_scope), so
+   instrumented entry points — Engine.run and everything the worker pool
+   fans out — pick it up without plumbing. Metric dumps are golden:
+   byte-identical for every --jobs value. *)
+let obs_arg =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic metric dump (canonical JSON, byte-identical for \
+             every $(b,--jobs) value) to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Stream structured simulator events as JSONL to $(docv).")
+  in
+  Term.(const (fun m t -> (m, t)) $ metrics $ trace)
+
+let with_observability (metrics_path, trace_path) f =
+  match (metrics_path, trace_path) with
+  | None, None -> f ()
+  | _ ->
+      let registry = Option.map (fun _ -> Metrics.create ()) metrics_path in
+      let tracer = Option.map Tracer.to_file trace_path in
+      let scope = Scope.make ?metrics:registry ?tracer () in
+      Pool.set_scope scope;
+      Fun.protect
+        ~finally:(fun () ->
+          Pool.set_scope Scope.null;
+          Option.iter Tracer.close tracer)
+        f;
+      (match (metrics_path, registry) with
+      | Some path, Some m ->
+          let oc = open_out path in
+          output_string oc (Metrics.dump m);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics written to %s\n" path
+      | _ -> ());
+      Option.iter (fun path -> Printf.printf "trace written to %s\n" path) trace_path
+
 (* fruitchain list *)
 let list_cmd =
   let doc = "List the reproduction experiments (tables and figures)." in
@@ -60,29 +112,33 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV to $(docv).")
   in
-  let run () scale csv id =
+  let run () obs scale csv id =
     match Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s; try `fruitchain list`\n" id;
         exit 1
     | Some (module E) ->
-        let outcome = E.run ~scale () in
-        Exp.print Format.std_formatter outcome;
-        Option.iter
-          (fun path ->
-            let oc = open_out path in
-            output_string oc (Fruitchain_util.Table.to_csv outcome.Exp.table);
-            close_out oc;
-            Printf.printf "csv written to %s\n" path)
-          csv
+        with_observability obs (fun () ->
+            let outcome = E.run ~scale () in
+            Exp.print Format.std_formatter outcome;
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc (Fruitchain_util.Table.to_csv outcome.Exp.table);
+                close_out oc;
+                Printf.printf "csv written to %s\n" path)
+              csv)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ jobs_arg $ scale_arg $ csv_arg $ id_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ scale_arg $ csv_arg $ id_arg)
 
 (* fruitchain all [--quick] *)
 let all_cmd =
   let doc = "Run every experiment in order (the full reproduction)." in
-  let run () scale = Registry.run_all ~scale Format.std_formatter in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ scale_arg)
+  let run () obs scale =
+    with_observability obs (fun () -> Registry.run_all ~scale Format.std_formatter)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ obs_arg $ scale_arg)
 
 (* fruitchain sim --protocol fruitchain --rho 0.3 ... *)
 let sim_cmd =
@@ -116,7 +172,8 @@ let sim_cmd =
       & info [ "save-chain" ]
           ~docv:"FILE" ~doc:"Persist the canonical honest chain to $(docv) (see $(b,inspect)).")
   in
-  let run protocol rho gamma n rounds delta seed p q kappa strategy save_chain =
+  let run protocol rho gamma n rounds delta seed p q kappa strategy save_chain obs =
+    with_observability obs @@ fun () ->
     let params = Params.make ~p ~pf:(p *. q) ~kappa () in
     let config =
       Config.make ~protocol ~n ~rho ~delta ~rounds ~seed ~probe_interval:(rounds / 50) ~params ()
@@ -153,7 +210,7 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ protocol $ rho $ gamma $ n $ rounds $ delta $ seed $ p $ q $ kappa $ strategy
-      $ save_chain)
+      $ save_chain $ obs_arg)
 
 (* fruitchain inspect FILE *)
 let inspect_cmd =
@@ -179,9 +236,31 @@ let inspect_cmd =
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file_arg)
 
+(* fruitchain report FILE *)
+let report_cmd =
+  let doc =
+    "Summarize a fruitscope artifact: a metric dump ($(b,--metrics)), a JSONL trace \
+     ($(b,--trace)), or a BENCH.json (bench $(b,--json)). The kind is detected from \
+     the content."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Artifact file.")
+  in
+  let run path =
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Report.summarize content with
+    | Ok s -> print_string s
+    | Error e ->
+        Printf.eprintf "report: %s: %s\n" path e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg)
+
 let main =
   let doc = "FruitChains (Pass & Shi, PODC'17) reproduction toolkit" in
   let info = Cmd.info "fruitchain" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; all_cmd; sim_cmd; inspect_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; all_cmd; sim_cmd; inspect_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

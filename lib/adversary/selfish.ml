@@ -6,6 +6,9 @@ module Config = Fruitchain_sim.Config
 module Params = Fruitchain_core.Params
 module Window_view = Fruitchain_core.Window_view
 module Buffer_f = Fruitchain_core.Buffer
+module Trace = Fruitchain_sim.Trace
+module Scope = Fruitchain_obs.Scope
+module Json = Fruitchain_obs.Json
 
 module type PARAMS = sig
   val gamma : float
@@ -61,6 +64,25 @@ module Make (P : PARAMS) : Strategy.S = struct
 
   let priv_height t = Store.height t.ctx.store t.priv
 
+  let scope t = Trace.scope t.ctx.trace
+
+  (* Release decisions are rare (at most one per honest advance), so the
+     by-name Scope counters are fine here — no hot-path native ints. *)
+  let note_release t ~round ~blocks ~tie =
+    let s = scope t in
+    if Scope.enabled s then begin
+      Scope.incr s "adv.release.events";
+      Scope.incr ~by:blocks s "adv.release.blocks";
+      if tie then Scope.incr s "adv.release.ties";
+      if Scope.tracing s then
+        Scope.emit s "adv.release"
+          [
+            ("round", Json.Int round);
+            ("blocks", Json.Int blocks);
+            ("tie", Json.Bool tie);
+          ]
+    end
+
   let move_priv t head =
     t.priv <- head;
     if t.ctx.config.Config.protocol = Config.Fruitchain then begin
@@ -68,15 +90,24 @@ module Make (P : PARAMS) : Strategy.S = struct
       Buffer_f.refresh t.buffer ~store:t.ctx.store ~view:t.view
     end
 
-  let adopt_public t =
+  let adopt_public t ~round =
+    let abandoned = List.length t.withheld in
     t.withheld <- [];
     t.racing <- false;
-    move_priv t t.pub_head
+    move_priv t t.pub_head;
+    let s = scope t in
+    if Scope.enabled s then begin
+      Scope.incr s "adv.adopt";
+      if Scope.tracing s then
+        Scope.emit s "adv.adopt"
+          [ ("round", Json.Int round); ("abandoned", Json.Int abandoned) ]
+    end
 
   let release_all t ~round ~tie =
     (match t.withheld with
     | [] -> ()
     | blocks ->
+        note_release t ~round ~blocks:(List.length blocks) ~tie;
         if tie then
           Common.publish_tie t.ctx ~round ~blocks ~head:t.priv ~gamma:P.gamma
         else Common.publish t.ctx ~round ~blocks ~head:t.priv);
@@ -91,6 +122,7 @@ module Make (P : PARAMS) : Strategy.S = struct
     (match List.rev revealed with
     | [] -> ()
     | tip :: _ ->
+        note_release t ~round ~blocks:(List.length revealed) ~tie;
         if tie then
           Common.publish_tie t.ctx ~round ~blocks:revealed ~head:tip.Types.b_hash
             ~gamma:P.gamma
@@ -100,7 +132,7 @@ module Make (P : PARAMS) : Strategy.S = struct
   (* React to honest chain progress, per SM1. *)
   let on_public_advance t ~round =
     let lead = priv_height t - t.pub_height in
-    if lead < 0 then adopt_public t
+    if lead < 0 then adopt_public t ~round
     else if lead = 0 then begin
       if t.withheld <> [] then begin
         release_all t ~round ~tie:true;

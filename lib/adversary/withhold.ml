@@ -4,6 +4,9 @@ module Network = Fruitchain_net.Network
 module Strategy = Fruitchain_sim.Strategy
 module Config = Fruitchain_sim.Config
 module Params = Fruitchain_core.Params
+module Trace = Fruitchain_sim.Trace
+module Scope = Fruitchain_obs.Scope
+module Json = Fruitchain_obs.Json
 
 module type PARAMS = sig
   val release_interval : int
@@ -58,6 +61,15 @@ module Make (P : PARAMS) : Strategy.S = struct
       | None -> ()
     done;
     if round > 0 && round mod P.release_interval = 0 && t.hoard <> [] then begin
+      let s = Trace.scope t.ctx.trace in
+      if Scope.enabled s then begin
+        let fruits = List.length t.hoard in
+        Scope.incr s "adv.release.fruit_bursts";
+        Scope.incr ~by:fruits s "adv.release.fruits";
+        if Scope.tracing s then
+          Scope.emit s "adv.fruit_release"
+            [ ("round", Json.Int round); ("fruits", Json.Int fruits) ]
+      end;
       List.iter (Common.broadcast_fruit t.ctx ~round) t.hoard;
       t.hoard <- []
     end

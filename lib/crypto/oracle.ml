@@ -4,13 +4,23 @@ type backend =
   | Real
   | Sim of { rng : Rng.t; memo : (string, Hash.t) Hashtbl.t option }
 
-type t = { backend : backend; p : float; pf : float; mutable queries : int }
+type t = {
+  backend : backend;
+  p : float;
+  pf : float;
+  mutable queries : int;
+  (* Win counters are native ints (not Obs instruments): [query] is the
+     hottest call in the simulator, so the observability layer harvests
+     these once per run instead of paying an instrument update per query. *)
+  mutable block_wins : int;
+  mutable fruit_wins : int;
+}
 
-let real ~p ~pf = { backend = Real; p; pf; queries = 0 }
+let real ~p ~pf = { backend = Real; p; pf; queries = 0; block_wins = 0; fruit_wins = 0 }
 
 let sim ?(memo = false) ~p ~pf rng =
   let memo = if memo then Some (Hashtbl.create 1024) else None in
-  { backend = Sim { rng; memo }; p; pf; queries = 0 }
+  { backend = Sim { rng; memo }; p; pf; queries = 0; block_wins = 0; fruit_wins = 0 }
 
 (* Sample a 64-bit view that is below [threshold p] with probability exactly
    p: draw the success Bernoulli first, then a uniform value within the
@@ -35,10 +45,15 @@ let sample_view rng p =
     else Int64.add limit (Int64.shift_right_logical (Rng.bits64 rng) 1)
   end
 
+let count_wins t h =
+  if Hash.meets_block_difficulty h ~p:t.p then t.block_wins <- t.block_wins + 1;
+  if Hash.meets_fruit_difficulty h ~pf:t.pf then t.fruit_wins <- t.fruit_wins + 1;
+  h
+
 let query t input =
   t.queries <- t.queries + 1;
   match t.backend with
-  | Real -> Hash.of_raw (Sha256.digest input)
+  | Real -> count_wins t (Hash.of_raw (Sha256.digest input))
   | Sim { rng; memo } ->
       let block_view = sample_view rng t.p in
       let fruit_view = sample_view rng t.pf in
@@ -46,7 +61,7 @@ let query t input =
         Hash.of_views ~block_view ~fruit_view ~filler:(Rng.bits64 rng, Rng.bits64 rng)
       in
       (match memo with Some tbl -> Hashtbl.replace tbl input h | None -> ());
-      h
+      count_wins t h
 
 let verify t input claimed =
   match t.backend with
@@ -59,6 +74,8 @@ let verify t input claimed =
 
 let queries t = t.queries
 let reset_queries t = t.queries <- 0
+let block_wins t = t.block_wins
+let fruit_wins t = t.fruit_wins
 let p t = t.p
 let pf t = t.pf
 let mined_block t h = Hash.meets_block_difficulty h ~p:t.p

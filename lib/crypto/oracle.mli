@@ -45,6 +45,14 @@ val queries : t -> int
 
 val reset_queries : t -> unit
 
+val block_wins : t -> int
+(** Queries whose digest met the block difficulty, since creation. Kept as
+    a native counter (the observability layer harvests it once per run)
+    because [query] is the simulator's hottest call. *)
+
+val fruit_wins : t -> int
+(** Queries whose digest met the fruit difficulty, since creation. *)
+
 val p : t -> float
 val pf : t -> float
 

@@ -1,4 +1,6 @@
 module Rng = Fruitchain_util.Rng
+module Metrics = Fruitchain_obs.Metrics
+module Scope = Fruitchain_obs.Scope
 
 type schedule = At of int | Uniform_in_window | Next_round | Max_delay
 
@@ -11,12 +13,34 @@ type t = {
   inboxes : (int, envelope list) Hashtbl.t array;
   mutable seq : int;
   mutable pending : int;
+  (* Native counters: harvested once per run by the engine, so the
+     per-message cost with observability off stays a plain increment. *)
+  mutable sent : int;
+  mutable delivered : int;
+  (* Delivery delay in rounds is protocol semantics (schedule + clamping),
+     not scheduling noise, so the histogram is golden. *)
+  delay_hist : Metrics.histogram option;
 }
 
-let create ~n ~delta =
+let create ?(scope = Scope.null) ~n ~delta () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   if delta < 1 then invalid_arg "Network.create: delta must be >= 1";
-  { n; delta; inboxes = Array.init n (fun _ -> Hashtbl.create 64); seq = 0; pending = 0 }
+  let delay_hist =
+    match Scope.metrics scope with
+    | None -> None
+    | Some m ->
+        Some (Metrics.histogram m ~buckets:[| 1; 2; 3; 4; 6; 8; 12; 16 |] "net.delay")
+  in
+  {
+    n;
+    delta;
+    inboxes = Array.init n (fun _ -> Hashtbl.create 64);
+    seq = 0;
+    pending = 0;
+    sent = 0;
+    delivered = 0;
+    delay_hist;
+  }
 
 let delta t = t.delta
 let n t = t.n
@@ -36,7 +60,12 @@ let enqueue t ~recipient ~round message =
 
 let send_to t ~now ~recipient ~schedule ~rng message =
   if recipient < 0 || recipient >= t.n then invalid_arg "Network.send_to: bad recipient";
-  enqueue t ~recipient ~round:(resolve_round t ~now ~rng schedule) message
+  let round = resolve_round t ~now ~rng schedule in
+  t.sent <- t.sent + 1;
+  (match t.delay_hist with
+  | None -> ()
+  | Some h -> Metrics.observe h (round - now));
+  enqueue t ~recipient ~round message
 
 let broadcast t ~now ?(schedule = fun ~recipient:_ -> Max_delay) ~rng message =
   for recipient = 0 to t.n - 1 do
@@ -50,7 +79,9 @@ let drain t ~round ~recipient =
   | None -> []
   | Some envelopes ->
       Hashtbl.remove inbox round;
-      t.pending <- t.pending - List.length envelopes;
+      let k = List.length envelopes in
+      t.pending <- t.pending - k;
+      t.delivered <- t.delivered + k;
       let sorted =
         List.sort
           (fun a b ->
@@ -62,3 +93,5 @@ let drain t ~round ~recipient =
       List.map (fun e -> e.message) sorted
 
 let pending t = t.pending
+let sent t = t.sent
+let delivered t = t.delivered

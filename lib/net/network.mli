@@ -16,9 +16,13 @@
 
 type t
 
-val create : n:int -> delta:int -> t
+val create : ?scope:Fruitchain_obs.Scope.t -> n:int -> delta:int -> unit -> t
 (** [n] parties (indices [0 .. n-1]); honest messages must arrive within
-    [delta] rounds. [delta >= 1]. *)
+    [delta] rounds. [delta >= 1]. With a live [?scope] (default
+    {!Fruitchain_obs.Scope.null}) the network resolves a [net.delay]
+    histogram at creation and observes each message's delivery delay in
+    rounds — delays are protocol semantics, so the histogram is part of the
+    golden (deterministic) metric dump. *)
 
 val delta : t -> int
 val n : t -> int
@@ -51,3 +55,10 @@ val drain : t -> round:int -> recipient:int -> Message.t list
 
 val pending : t -> int
 (** Messages enqueued but not yet drained. *)
+
+val sent : t -> int
+(** Point-to-point deliveries enqueued since creation (a broadcast counts
+    [n - 1] times). Native counter, harvested once per run by the engine. *)
+
+val delivered : t -> int
+(** Deliveries drained since creation. *)

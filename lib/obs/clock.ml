@@ -1,0 +1,7 @@
+(* The single blessed home of wall-clock access (fruitlint R6; also
+   allowlisted for R1). Simulations never read these — simulated time is
+   the round counter — so anything timed here is reporting-only telemetry:
+   bench harness wall-clock, BENCH.json, trace overhead accounting. *)
+
+let now_s () = Unix.gettimeofday ()
+let cpu_s () = Sys.time ()

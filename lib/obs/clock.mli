@@ -1,0 +1,14 @@
+(** Wall-clock access, confined here by fruitlint rule R6.
+
+    The determinism contract says no simulated quantity may depend on
+    physical time; every timing read in the repository therefore goes
+    through this module, which makes the audit surface exactly one file.
+    Use these only for reporting (bench wall-clock, telemetry), never as
+    input to a simulation. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). *)
+
+val cpu_s : unit -> float
+(** Processor seconds consumed by this process ([Sys.time]) — summed
+    across domains, so compare against wall-clock to read parallelism. *)

@@ -1,0 +1,18 @@
+(** Human-readable summaries of fruitscope artifacts.
+
+    The [report] CLI subcommand reads a file and hands its contents here;
+    the artifact kind (metric dump, JSONL trace, BENCH.json) is detected
+    from the content, not the file name. *)
+
+type kind = Metrics_dump | Trace | Bench
+
+val kind_name : kind -> string
+
+val classify : string -> (kind * Json.t list, string) result
+(** Detect what a file holds: a single JSON object with a ["counters"]
+    field is a metric dump, with a ["schema"] field a BENCH.json, with an
+    ["ev"] field (or several JSONL lines) a trace. Unparseable trace lines
+    are skipped (a killed run truncates its last line). *)
+
+val summarize : string -> (string, string) result
+(** Render the artifact as a short human-readable summary. *)

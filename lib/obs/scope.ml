@@ -1,0 +1,53 @@
+(* A scope bundles the two fruitscope channels — a metrics registry and a
+   tracer — so instrumented components thread one value.  [null] is the
+   disabled scope every entry point defaults to.
+
+   Fork/join: a parallel work unit gets [fork parent] — a fresh registry
+   plus a buffering tracer — and the pool applies [merge_child] in
+   unit-index order after the join.  Because counter/histogram merge is
+   addition and gauge merge is last-writer-in-index-order, the merged
+   parent is byte-identical to what a sequential run of the same units
+   would have accumulated directly. *)
+
+type t = { metrics : Metrics.t option; tracer : Tracer.t option }
+
+let null = { metrics = None; tracer = None }
+let make ?metrics ?tracer () = { metrics; tracer }
+let metrics t = t.metrics
+let tracer t = t.tracer
+let enabled t = Option.is_some t.metrics || Option.is_some t.tracer
+
+let tracing t =
+  match t.tracer with Some tr -> Tracer.enabled tr | None -> false
+
+let emit t name fields =
+  match t.tracer with Some tr -> Tracer.emit tr name fields | None -> ()
+
+let incr ?by ?golden t name =
+  match t.metrics with
+  | Some m -> Metrics.incr ?by (Metrics.counter m ?golden name)
+  | None -> ()
+
+let set_gauge ?golden t name v =
+  match t.metrics with
+  | Some m -> Metrics.set (Metrics.gauge m ?golden name) v
+  | None -> ()
+
+let fork t =
+  if not (enabled t) then null
+  else
+    {
+      metrics = Option.map (fun _ -> Metrics.create ()) t.metrics;
+      tracer =
+        Option.map
+          (fun tr -> if Tracer.enabled tr then Tracer.buffer () else Tracer.null)
+          t.tracer;
+    }
+
+let merge_child t ~child =
+  (match (t.metrics, child.metrics) with
+  | Some dst, Some src -> Metrics.merge_into ~dst src
+  | (Some _ | None), _ -> ());
+  match (t.tracer, child.tracer) with
+  | Some dst, Some src -> List.iter (Tracer.append_line dst) (Tracer.lines src)
+  | (Some _ | None), _ -> ()

@@ -1,0 +1,39 @@
+(** A fruitscope scope: the metrics registry and tracer of one execution
+    context, threaded as a single value through instrumented components.
+
+    {!null} is the disabled scope — every instrumented entry point
+    defaults to it and pays one branch per instrumentation site.  The
+    parallel worker pool forks a child scope per work unit and merges
+    children back in unit-index order, which keeps metric dumps and
+    trace files byte-identical at any worker count (see DESIGN.md §10). *)
+
+type t
+
+val null : t
+val make : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> t
+val metrics : t -> Metrics.t option
+val tracer : t -> Tracer.t option
+
+val enabled : t -> bool
+(** Whether anything (metrics or tracer) is attached — gate for
+    instrumentation work that is not worth doing into the void. *)
+
+val tracing : t -> bool
+(** Whether a live tracer is attached — gate before allocating event
+    field lists. *)
+
+val emit : t -> string -> (string * Json.t) list -> unit
+val incr : ?by:int -> ?golden:bool -> t -> string -> unit
+(** Counter bump by name; convenience for cold call sites (hot paths
+    should resolve a {!Metrics.counter} once and use {!Metrics.incr}). *)
+
+val set_gauge : ?golden:bool -> t -> string -> float -> unit
+
+val fork : t -> t
+(** Child scope for one parallel work unit: fresh registry, buffering
+    tracer. [fork null] is [null]. *)
+
+val merge_child : t -> child:t -> unit
+(** Fold a child back into this scope: metrics merge by addition (gauges
+    last-writer-wins), buffered trace lines append to the parent sink.
+    Apply children in unit-index order. *)

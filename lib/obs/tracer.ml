@@ -1,0 +1,87 @@
+(* Structured event sink: one JSON object per event, streamed as JSONL.
+
+   The hot-path contract is that a disabled tracer costs exactly one
+   branch: call sites guard with [enabled] before building field lists,
+   and [emit] on a [Null] sink returns immediately.
+
+   Sinks:
+   - [Null]      drop everything (the default; what disabled means);
+   - [Channel]   stream lines to a file as they happen;
+   - [Ring n]    keep the most recent [n] lines in memory;
+   - [Buffer]    keep every line in memory — the fork/join vehicle: each
+     parallel work unit traces into its own buffer, and the pool flushes
+     the buffers into the parent sink in unit-index order, so a trace
+     file is byte-identical at any worker count. *)
+
+type sink =
+  | Null
+  | Channel of { oc : out_channel; mutable closed : bool }
+  | Ring of { cap : int; lines : string Queue.t }
+  | Buffer of { mutable rev_lines : string list }
+
+type t = { sink : sink; mutable emitted : int; scratch : Buffer.t }
+
+(* The scratch buffer is per-tracer, not module-level: each parallel work
+   unit owns its tracer, so sharing a scratch across domains would race. *)
+let make sink = { sink; emitted = 0; scratch = Buffer.create 256 }
+let null = make Null
+let to_channel oc = make (Channel { oc; closed = false })
+let to_file path = to_channel (open_out path)
+
+let ring cap =
+  if cap <= 0 then invalid_arg "Tracer.ring: capacity must be positive";
+  make (Ring { cap; lines = Queue.create () })
+
+let buffer () = make (Buffer { rev_lines = [] })
+let enabled t = match t.sink with Null -> false | Channel _ | Ring _ | Buffer _ -> true
+let emitted t = t.emitted
+
+let append_line t line =
+  match t.sink with
+  | Null -> ()
+  | Channel c ->
+      if not c.closed then begin
+        output_string c.oc line;
+        output_char c.oc '\n';
+        t.emitted <- t.emitted + 1
+      end
+  | Ring r ->
+      Queue.push line r.lines;
+      if Queue.length r.lines > r.cap then ignore (Queue.pop r.lines);
+      t.emitted <- t.emitted + 1
+  | Buffer b ->
+      b.rev_lines <- line :: b.rev_lines;
+      t.emitted <- t.emitted + 1
+
+let emit t name fields =
+  match t.sink with
+  | Null -> ()
+  | Channel c ->
+      (* Stream straight from the scratch buffer: no intermediate string
+         per line on the hot path. *)
+      if not c.closed then begin
+        Buffer.clear t.scratch;
+        Json.write t.scratch (Json.Obj (("ev", Json.Str name) :: fields));
+        Buffer.add_char t.scratch '\n';
+        Buffer.output_buffer c.oc t.scratch;
+        t.emitted <- t.emitted + 1
+      end
+  | Ring _ | Buffer _ ->
+      Buffer.clear t.scratch;
+      Json.write t.scratch (Json.Obj (("ev", Json.Str name) :: fields));
+      append_line t (Buffer.contents t.scratch)
+
+let lines t =
+  match t.sink with
+  | Null | Channel _ -> []
+  | Ring r -> List.of_seq (Queue.to_seq r.lines)
+  | Buffer b -> List.rev b.rev_lines
+
+let close t =
+  match t.sink with
+  | Null | Ring _ | Buffer _ -> ()
+  | Channel c ->
+      if not c.closed then begin
+        c.closed <- true;
+        close_out c.oc
+      end

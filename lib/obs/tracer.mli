@@ -1,0 +1,42 @@
+(** Low-overhead structured event sink (JSONL).
+
+    Events are single-line JSON objects [{"ev":<name>,...fields}]. A
+    disabled tracer ({!null}) costs one branch per call; hot call sites
+    should additionally guard with {!enabled} so field lists are never
+    even allocated when tracing is off. *)
+
+type t
+
+val null : t
+(** The disabled tracer: {!emit} is a no-op, {!enabled} is [false]. *)
+
+val to_channel : out_channel -> t
+(** Stream events to a channel; {!close} closes it. *)
+
+val to_file : string -> t
+(** [to_channel (open_out path)]. *)
+
+val ring : int -> t
+(** Keep the most recent [n] events in memory; read with {!lines}. *)
+
+val buffer : unit -> t
+(** Keep every event in memory — the fork/join vehicle for parallel work
+    units ({!Scope.fork}); the pool flushes buffers in unit-index order. *)
+
+val enabled : t -> bool
+val emitted : t -> int
+(** Events accepted so far (lines dropped by a full ring still count). *)
+
+val emit : t -> string -> (string * Json.t) list -> unit
+(** [emit t name fields] appends [{"ev":name, ...fields}]. *)
+
+val append_line : t -> string -> unit
+(** Append an already-rendered line (no trailing newline) — used when
+    merging a child buffer into a parent sink. *)
+
+val lines : t -> string list
+(** Contents of a ring or buffer sink, oldest first; [[]] for null and
+    channel sinks. *)
+
+val close : t -> unit
+(** Flush and close a channel sink; idempotent, no-op for the others. *)

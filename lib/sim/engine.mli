@@ -15,14 +15,20 @@ type workload = Strategy.workload
     (pure mining workload); liveness probes are injected on top of it. *)
 
 val run :
-  config:Config.t -> strategy:(module Strategy.S) -> ?workload:workload -> unit ->
-  Trace.t
+  config:Config.t -> strategy:(module Strategy.S) -> ?workload:workload ->
+  ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
 (** Runs the execution to completion and returns the trace. The oracle is
     the sampling backend seeded from [config.seed]; every honest party, the
-    adversary, and the network get independent split streams. *)
+    adversary, and the network get independent split streams.
+
+    [?scope] is the fruitscope channel of the run; it defaults to the
+    calling domain's ambient scope ({!Fruitchain_util.Pool.current_scope}),
+    so runs fanned out by the worker pool land in per-unit forked scopes
+    automatically and a plain call with no scope installed pays one branch
+    per instrumentation site. *)
 
 val run_with_oracle :
   config:Config.t -> strategy:(module Strategy.S) -> oracle:Oracle.t ->
-  ?workload:workload -> unit -> Trace.t
+  ?workload:workload -> ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
 (** Same, but with a caller-provided oracle — used by tests that exercise
     the real SHA-256 backend end to end. *)

@@ -19,9 +19,18 @@ type event = {
 
 type t
 
-val create : config:Config.t -> store:Store.t -> t
+val create : ?scope:Fruitchain_obs.Scope.t -> config:Config.t -> store:Store.t -> unit -> t
+(** [?scope] (default {!Fruitchain_obs.Scope.null}) is the fruitscope
+    channel of the run: recording functions stream structured events into
+    its tracer (one branch when disabled), and the engine harvests the
+    run's aggregate counters into its metrics registry. *)
+
 val config : t -> Config.t
 val store : t -> Store.t
+
+val scope : t -> Fruitchain_obs.Scope.t
+(** The run's observability scope — how adversary strategies reach the
+    tracer/metrics without threading another value. *)
 
 (** {1 Recording (engine/strategy side)} *)
 
@@ -35,7 +44,13 @@ val set_oracle_queries : t -> int -> unit
 (** {1 Reading (metrics side)} *)
 
 val events : t -> event list
-(** Chronological. *)
+(** Chronological. Events are held in a growable buffer
+    ({!Fruitchain_util.Vec}), so recording is amortized O(1) per event and
+    long runs (10⁵–10⁶ events) stay linear. *)
+
+val event_count : t -> int
+val iter_events : t -> f:(event -> unit) -> unit
+(** Chronological, without materializing the list. *)
 
 val height_snapshots : t -> (int * int array) list
 (** Chronological [(round, per-party height)]. Corrupt parties report the
@@ -43,6 +58,7 @@ val height_snapshots : t -> (int * int array) list
 
 val head_snapshots : t -> (int * Hash.t array) list
 val probes : t -> (string * int) list
+val probe_count : t -> int
 val final_heads : t -> Hash.t array
 
 val honest_parties : t -> int list

@@ -17,7 +17,13 @@
 
     This is the single place in the tree where [Domain]/[Atomic] (and the
     other concurrency primitives) may appear — fruitlint rule R5 enforces
-    the confinement. *)
+    the confinement.
+
+    The pool also owns the {e ambient observability scope}
+    ({!Fruitchain_obs.Scope}): the CLI installs one with {!set_scope},
+    every parallel unit runs under a fork of it, and after the join the
+    forks are merged back in unit-index order — so metric dumps and trace
+    files, like results, are byte-identical at any worker count. *)
 
 val available : unit -> int
 (** [Domain.recommended_domain_count ()]: how many domains the hardware
@@ -31,6 +37,18 @@ val default_jobs : unit -> int
 val set_default_jobs : int -> unit
 (** Clamped to at least 1. [set_default_jobs 1] restores fully sequential
     execution in the calling domain (no domains are spawned). *)
+
+val current_scope : unit -> Fruitchain_obs.Scope.t
+(** The calling domain's ambient observability scope — {!Scope.null}
+    unless {!set_scope} installed one (main domain) or the pool is running
+    the caller inside a work unit (worker domains, per-unit fork).
+    Instrumented entry points ([Engine.run]) default their [?scope] to
+    this. *)
+
+val set_scope : Fruitchain_obs.Scope.t -> unit
+(** Install the ambient scope of the calling domain. The CLI calls this
+    once around a run when [--trace]/[--metrics] are given; restore
+    {!Fruitchain_obs.Scope.null} afterwards. *)
 
 val map : ?jobs:int -> int -> f:(int -> 'a) -> 'a array
 (** [map n ~f] evaluates [f i] for every [i] in [0 .. n-1] on

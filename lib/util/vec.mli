@@ -1,0 +1,22 @@
+(** Growable array with amortized O(1) push.
+
+    The event buffer behind {!Fruitchain_sim.Trace}: long executions
+    record 10⁵–10⁶ events, which want constant-time append, dense
+    storage, and a chronological read-out without a reversal pass. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val iter : 'a t -> f:('a -> unit) -> unit
+(** In push (chronological) order. *)
+
+val fold_left : 'a t -> init:'acc -> f:('acc -> 'a -> 'acc) -> 'acc
+val to_list : 'a t -> 'a list
+(** Chronological. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,6 @@
+(* R6 positive fixture: every line below must fire the clock rule. *)
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let epoch () = Unix.time ()
+let split t = Unix.gmtime t
+let qualified () = Stdlib.Sys.time ()

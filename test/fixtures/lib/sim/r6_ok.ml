@@ -1,0 +1,9 @@
+(* R6 negative fixture: the blessed clock module, benign Sys/Unix-free
+   code, and suppressions. *)
+let wall () = Fruitchain_obs.Clock.now_s ()
+let cpu () = Fruitchain_obs.Clock.cpu_s ()
+let bits () = Sys.word_size
+
+(* fruitlint: allow R6 *)
+let raw () = Unix.gettimeofday ()
+let t () = Sys.time () (* fruitlint: allow R1 R6 *)

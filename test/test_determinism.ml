@@ -12,11 +12,28 @@
 module Exp = Fruitchain_experiments.Exp
 module Registry = Fruitchain_experiments.Registry
 module Pool = Fruitchain_util.Pool
+module Metrics = Fruitchain_obs.Metrics
+module Tracer = Fruitchain_obs.Tracer
+module Scope = Fruitchain_obs.Scope
 
 let render ~jobs (module E : Exp.EXPERIMENT) =
   Pool.set_default_jobs jobs;
   let outcome = E.run ~scale:Exp.Quick () in
   Format.asprintf "%a" Exp.print outcome
+
+(* Run an experiment under an ambient fruitscope scope and return the bytes
+   of the golden artifacts: the canonical metric dump and the merged trace
+   stream. These are exactly what --metrics/--trace write from the CLI, so
+   byte-equality here is byte-equality of the files. *)
+let observe ~jobs (module E : Exp.EXPERIMENT) =
+  Pool.set_default_jobs jobs;
+  let registry = Metrics.create () in
+  let tracer = Tracer.buffer () in
+  Pool.set_scope (Scope.make ~metrics:registry ~tracer ());
+  Fun.protect
+    ~finally:(fun () -> Pool.set_scope Scope.null)
+    (fun () -> ignore (E.run ~scale:Exp.Quick ()));
+  (Metrics.dump registry, String.concat "\n" (Tracer.lines tracer))
 
 (* The experiments that actually emit parallel work units (the sweeps);
    these get the extra repeated-run check at jobs=4, where scheduling noise
@@ -37,6 +54,24 @@ let test_repeat_stability (module E : Exp.EXPERIMENT) () =
     (E.id ^ ": two jobs=4 runs under the same master seed are identical")
     first second
 
+(* Fruitscope golden artifacts: worker count must also be invisible in the
+   metric dump and in the merged trace stream (children merge in unit-index
+   order). A subset keeps the suite's runtime reasonable; these three cover
+   a Nakamoto sweep, a FruitChain sweep, and a parameter sweep. *)
+let scoped_ids = [ "E01"; "E02"; "E17" ]
+
+let test_scope_invariance (module E : Exp.EXPERIMENT) () =
+  let seq_metrics, seq_trace = observe ~jobs:1 (module E) in
+  let par_metrics, par_trace = observe ~jobs:4 (module E) in
+  Alcotest.(check string)
+    (E.id ^ ": metric dumps at --jobs 1 and --jobs 4 are byte-identical")
+    seq_metrics par_metrics;
+  Alcotest.(check string)
+    (E.id ^ ": traces at --jobs 1 and --jobs 4 are byte-identical")
+    seq_trace par_trace;
+  Alcotest.(check bool) (E.id ^ ": the scoped run actually recorded metrics") true
+    (not (String.equal seq_metrics {|{"counters":{},"gauges":{},"histograms":{}}|}))
+
 let () =
   Alcotest.run "determinism"
     [
@@ -53,4 +88,12 @@ let () =
                 Alcotest.test_case E.id `Slow (test_repeat_stability (module E)))
               (Registry.find id))
           parallel_ids );
+      ( "fruitscope invariance (metrics + trace)",
+        List.filter_map
+          (fun id ->
+            Option.map
+              (fun (module E : Exp.EXPERIMENT) ->
+                Alcotest.test_case E.id `Slow (test_scope_invariance (module E)))
+              (Registry.find id))
+          scoped_ids );
     ]

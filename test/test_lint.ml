@@ -93,6 +93,38 @@ let test_r5_module_alias () =
        (fun (d : Lint.diag) -> Lint.rule_name d.rule)
        (Lint.lint_source ~only:[ Lint.R5 ] ~path:"lib/sim/x.ml" "module D = Domain"))
 
+(* --- R6: clock confinement -------------------------------------------- *)
+
+let test_r6_fires () =
+  let file = fx "lib/sim/r6_bad.ml" in
+  check_diags "gettimeofday, Sys.time, Unix.time, gmtime, Stdlib.Sys.time all flagged"
+    [ (file, 2, "R6"); (file, 3, "R6"); (file, 4, "R6"); (file, 5, "R6"); (file, 6, "R6") ]
+    (Lint.lint_files ~only:[ Lint.R6 ] [ file ])
+
+let test_r6_clean () =
+  check_diags "Obs.Clock use, benign Sys access, and suppressions pass" []
+    (Lint.lint_files ~only:[ Lint.R6 ] [ fx "lib/sim/r6_ok.ml" ])
+
+let test_r6_allowlist () =
+  (* The clock module is the one blessed home for wall-clock reads. *)
+  check_diags "lib/obs/clock.ml is allowlisted" []
+    (Lint.lint_source ~only:[ Lint.R6 ] ~path:"lib/obs/clock.ml"
+       "let now_s () = Unix.gettimeofday ()\nlet cpu_s () = Sys.time ()")
+
+let test_r6_distinct_from_r1 () =
+  (* R6 is narrower than R1: Unix.getenv leaks system state (R1) but is not
+     a clock read, while both rules flag Unix.gettimeofday outside their
+     allowlists. *)
+  let diags path content only = Lint.lint_source ~only ~path content in
+  Alcotest.(check (list string)) "getenv is R1 but not R6" [ "R1" ]
+    (List.map
+       (fun (d : Lint.diag) -> Lint.rule_name d.rule)
+       (diags "lib/sim/x.ml" "let home () = Unix.getenv \"HOME\"" [ Lint.R1; Lint.R6 ]));
+  Alcotest.(check (list string)) "gettimeofday is both R1 and R6" [ "R1"; "R6" ]
+    (List.map
+       (fun (d : Lint.diag) -> Lint.rule_name d.rule)
+       (diags "lib/sim/x.ml" "let now () = Unix.gettimeofday ()" [ Lint.R1; Lint.R6 ]))
+
 (* --- Suppression parsing --------------------------------------------- *)
 
 let test_suppression_is_per_rule () =
@@ -172,6 +204,13 @@ let () =
           Alcotest.test_case "clean" `Quick test_r5_clean;
           Alcotest.test_case "allowlist" `Quick test_r5_allowlist;
           Alcotest.test_case "module alias" `Quick test_r5_module_alias;
+        ] );
+      ( "R6 clock confinement",
+        [
+          Alcotest.test_case "fires" `Quick test_r6_fires;
+          Alcotest.test_case "clean" `Quick test_r6_clean;
+          Alcotest.test_case "allowlist" `Quick test_r6_allowlist;
+          Alcotest.test_case "distinct from R1" `Quick test_r6_distinct_from_r1;
         ] );
       ( "suppression",
         [

@@ -136,7 +136,7 @@ let test_consistency_divergence () =
     Config.make ~protocol:Config.Fruitchain ~n:2 ~rho:0.0 ~delta:2 ~rounds:10 ~seed:1L ~params ()
   in
   let store = Store.create () in
-  let trace = Trace.create ~config ~store in
+  let trace = Trace.create ~config ~store () in
   (* Trunk of 3 blocks; a fork of length 2 off block 1. *)
   let b1 = mk_block ~parent:Types.genesis_hash ~miner:0 ~round:1 ~honest:true [] in
   let b2 = mk_block ~parent:b1.Types.b_hash ~miner:0 ~round:2 ~honest:true [] in

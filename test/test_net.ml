@@ -14,12 +14,12 @@ let drain_all net ~recipient ~upto =
 
 let test_create_validation () =
   Alcotest.check_raises "n=0" (Invalid_argument "Network.create: n must be positive") (fun () ->
-      ignore (Network.create ~n:0 ~delta:1));
+      ignore (Network.create ~n:0 ~delta:1 ()));
   Alcotest.check_raises "delta=0" (Invalid_argument "Network.create: delta must be >= 1")
-    (fun () -> ignore (Network.create ~n:3 ~delta:0))
+    (fun () -> ignore (Network.create ~n:3 ~delta:0 ()))
 
 let test_broadcast_skips_sender () =
-  let net = Network.create ~n:3 ~delta:1 in
+  let net = Network.create ~n:3 ~delta:1 () in
   let rng = Rng.of_seed 1L in
   Network.broadcast net ~now:0 ~rng (msg ~sender:1 ());
   Alcotest.(check int) "recipient 0 gets it" 1 (List.length (Network.drain net ~round:1 ~recipient:0));
@@ -27,7 +27,7 @@ let test_broadcast_skips_sender () =
   Alcotest.(check int) "recipient 2 gets it" 1 (List.length (Network.drain net ~round:1 ~recipient:2))
 
 let test_max_delay_default () =
-  let net = Network.create ~n:2 ~delta:5 in
+  let net = Network.create ~n:2 ~delta:5 () in
   let rng = Rng.of_seed 2L in
   Network.broadcast net ~now:10 ~rng (msg ~sender:0 ~sent_at:10 ());
   for round = 11 to 14 do
@@ -40,14 +40,14 @@ let test_max_delay_default () =
     (List.length (Network.drain net ~round:15 ~recipient:1))
 
 let test_next_round_schedule () =
-  let net = Network.create ~n:2 ~delta:5 in
+  let net = Network.create ~n:2 ~delta:5 () in
   let rng = Rng.of_seed 3L in
   Network.broadcast net ~now:3 ~schedule:(fun ~recipient:_ -> Network.Next_round) ~rng
     (msg ~sender:0 ~sent_at:3 ());
   Alcotest.(check int) "arrives next round" 1 (List.length (Network.drain net ~round:4 ~recipient:1))
 
 let test_at_schedule_clamped () =
-  let net = Network.create ~n:2 ~delta:3 in
+  let net = Network.create ~n:2 ~delta:3 () in
   let rng = Rng.of_seed 4L in
   (* Too early: clamps to now+1. Too late: clamps to now+delta. *)
   Network.send_to net ~now:10 ~recipient:1 ~schedule:(Network.At 2) ~rng (msg ());
@@ -57,7 +57,7 @@ let test_at_schedule_clamped () =
     (List.length (Network.drain net ~round:13 ~recipient:1))
 
 let test_uniform_within_window () =
-  let net = Network.create ~n:2 ~delta:4 in
+  let net = Network.create ~n:2 ~delta:4 () in
   let rng = Rng.of_seed 5L in
   for _ = 1 to 200 do
     Network.send_to net ~now:0 ~recipient:1 ~schedule:Network.Uniform_in_window ~rng (msg ())
@@ -73,7 +73,7 @@ let test_uniform_within_window () =
     per_round
 
 let test_priority_ordering () =
-  let net = Network.create ~n:2 ~delta:2 in
+  let net = Network.create ~n:2 ~delta:2 () in
   let rng = Rng.of_seed 6L in
   let honest = msg ~sender:0 () in
   let rushed = msg ~sender:0 ~priority:Message.rushed_priority () in
@@ -90,7 +90,7 @@ let test_priority_ordering () =
   | other -> Alcotest.fail (Printf.sprintf "expected 3 messages, got %d" (List.length other))
 
 let test_fifo_within_priority () =
-  let net = Network.create ~n:2 ~delta:2 in
+  let net = Network.create ~n:2 ~delta:2 () in
   let rng = Rng.of_seed 7L in
   let m1 = Message.fruit_announce ~sender:0 ~sent_at:0
       { Types.f_header = Types.genesis.b_header; f_hash = Types.genesis_hash; f_prov = None }
@@ -106,7 +106,7 @@ let test_fifo_within_priority () =
   | _ -> Alcotest.fail "expected 2 messages"
 
 let test_drain_removes () =
-  let net = Network.create ~n:2 ~delta:1 in
+  let net = Network.create ~n:2 ~delta:1 () in
   let rng = Rng.of_seed 8L in
   Network.broadcast net ~now:0 ~rng (msg ~sender:0 ());
   Alcotest.(check int) "pending before" 1 (Network.pending net);
@@ -115,7 +115,7 @@ let test_drain_removes () =
   Alcotest.(check int) "second drain empty" 0 (List.length (Network.drain net ~round:1 ~recipient:1))
 
 let test_send_to_bad_recipient () =
-  let net = Network.create ~n:2 ~delta:1 in
+  let net = Network.create ~n:2 ~delta:1 () in
   let rng = Rng.of_seed 9L in
   Alcotest.check_raises "bad recipient" (Invalid_argument "Network.send_to: bad recipient")
     (fun () -> Network.send_to net ~now:0 ~recipient:7 ~schedule:Network.Next_round ~rng (msg ()))
@@ -123,7 +123,7 @@ let test_send_to_bad_recipient () =
 let test_per_recipient_schedules () =
   (* The adversary can deliver the same broadcast at different times to
      different parties. *)
-  let net = Network.create ~n:3 ~delta:4 in
+  let net = Network.create ~n:3 ~delta:4 () in
   let rng = Rng.of_seed 10L in
   Network.broadcast net ~now:0
     ~schedule:(fun ~recipient -> if recipient = 1 then Network.Next_round else Network.Max_delay)

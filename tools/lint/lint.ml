@@ -17,13 +17,17 @@
          only in lib/util/pool.ml — everything else goes through the
          deterministic worker pool (Fruitchain_util.Pool), so scheduling
          can never leak into results.
+     R6  clock confinement: wall-clock reads (Unix.gettimeofday, Unix.time,
+         Sys.time, ...) may appear only in lib/obs/clock.ml — telemetry
+         timing goes through Fruitchain_obs.Clock, so a grep of that one
+         file audits every place time can leak in.
 
    Suppression: a comment containing "fruitlint: allow R<n> [R<m> ...]"
    silences those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -31,6 +35,7 @@ let rule_name = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let rule_of_string = function
   | "R1" -> Some R1
@@ -38,6 +43,7 @@ let rule_of_string = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -83,7 +89,7 @@ let rec contains_sublist sub l =
 (* Determinism allowlist: files where R1 does not apply.  [lib/util/rng.ml]
    is the single blessed source of randomness; everything else must reach
    it through [Fruitchain_util.Rng]. *)
-let r1_allowlist = [ [ "lib"; "util"; "rng.ml" ] ]
+let r1_allowlist = [ [ "lib"; "util"; "rng.ml" ]; [ "lib"; "obs"; "clock.ml" ] ]
 
 (* Directories where polymorphic compare on digest-bearing values is a
    correctness trap. *)
@@ -111,6 +117,13 @@ let r5_allowlist = [ [ "lib"; "util"; "pool.ml" ] ]
 
 let r5_applies path =
   not (List.exists (fun a -> contains_sublist a (components path)) r5_allowlist)
+
+(* Clock confinement: the observability layer's clock module is the single
+   place allowed to read wall-clock time. *)
+let r6_allowlist = [ [ "lib"; "obs"; "clock.ml" ] ]
+
+let r6_applies path =
+  not (List.exists (fun a -> contains_sublist a (components path)) r6_allowlist)
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments.  [suppressions content] maps a (line, rule) pair
@@ -201,6 +214,15 @@ let r5_violation lid =
            m)
   | _ -> None
 
+let r6_violation lid =
+  match strip_stdlib (flatten lid) with
+  | [ "Unix"; ("gettimeofday" | "time" | "gmtime" | "localtime" | "mktime" | "clock") ]
+  | [ "Sys"; "time" ] ->
+      Some
+        "wall-clock reads are confined to lib/obs/clock.ml; time telemetry goes through \
+         Fruitchain_obs.Clock"
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* AST traversal. *)
 
@@ -211,6 +233,7 @@ let lint_structure ~path ~only structure =
   let r2 = enabled R2 && r2_applies path in
   let r3 = enabled R3 && r3_applies path in
   let r5 = enabled R5 && r5_applies path in
+  let r6 = enabled R6 && r6_applies path in
   let push (loc : Location.t) rule msg =
     let p = loc.loc_start in
     diags := { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: !diags
@@ -219,7 +242,8 @@ let lint_structure ~path ~only structure =
     if r1 then Option.iter (push loc R1) (r1_violation lid);
     if r2 then Option.iter (push loc R2) (r2_violation lid);
     if r3 then Option.iter (push loc R3) (r3_violation lid);
-    if r5 then Option.iter (push loc R5) (r5_violation lid)
+    if r5 then Option.iter (push loc R5) (r5_violation lid);
+    if r6 then Option.iter (push loc R6) (r6_violation lid)
   in
   let super = Ast_iterator.default_iterator in
   let expr self (e : Parsetree.expression) =

@@ -2,7 +2,7 @@
     protocol invariants.
 
     The engine parses sources with compiler-libs (no typing pass, no ppx)
-    and reports violations of four repo rules:
+    and reports violations of the repo rules:
 
     - {b R1} determinism: no [Stdlib.Random], [Sys.time], [Unix.*] or
       [Hashtbl.hash] outside [lib/util/rng.ml] and the allowlist.
@@ -15,11 +15,14 @@
     - {b R5} concurrency confinement: [Domain]/[Atomic]/[Mutex]/[Condition]
       only in [lib/util/pool.ml] — all other parallelism goes through the
       deterministic worker pool ([Fruitchain_util.Pool]).
+    - {b R6} clock confinement: wall-clock reads ([Unix.gettimeofday],
+      [Unix.time], [Sys.time], ...) only in [lib/obs/clock.ml] — time
+      telemetry goes through [Fruitchain_obs.Clock].
 
     A comment containing ["fruitlint: allow R<n> [R<m> ...]"] suppresses
     those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
 val all_rules : rule list
 val rule_name : rule -> string
