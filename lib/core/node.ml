@@ -12,7 +12,7 @@ type t = {
   views : Window_view.Cache.t;
   rng : Rng.t;
   buffer : Buffer.t;
-  gossip : bool;
+  mutable gossip : bool;
   mutable head : Hash.t;
   mutable view : Window_view.t;
   mutable pending_relays : Message.t list; (* reverse order, drained by step *)
@@ -34,6 +34,7 @@ let create ?(gossip = false) ~id ~params ~store ~views ~rng () =
 
 let id t = t.id
 let params t = t.params
+let set_gossip t on = t.gossip <- on
 let head t = t.head
 let height t = Store.height t.store t.head
 let chain t = Store.to_list t.store ~head:t.head

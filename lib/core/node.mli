@@ -32,6 +32,11 @@ val create :
 
 val id : t -> int
 val params : t -> Params.t
+
+val set_gossip : t -> bool -> unit
+(** Flips the relay behaviour mid-run (scenario [gossip_toggle] events);
+    takes effect from the node's next {!step}. *)
+
 val head : t -> Types.Hash.t
 val height : t -> int
 val chain : t -> Types.block list

@@ -1,0 +1,98 @@
+(* E20 (fruitstorm): delay spikes vs the fairness guarantee.
+
+   Theorem 4.1 prices fairness at delta ~ 3·kappa/T under a Δ-bounded
+   network. A delay spike widens the effective bound to Δ' for its window:
+   fruits mined during the spike hang farther from their recording block,
+   more of them brush the recency window R·κ, and the worst-window fruit
+   share of a fixed honest subset degrades as Δ' grows. We sweep the spike
+   magnitude with a fixed periodic spike pattern and report the measured
+   delta = 1 − min_share/phi. *)
+
+module Table = Fruitchain_util.Table
+module Fairness = Fruitchain_metrics.Fairness
+module Scenario = Fruitchain_scenario.Scenario
+module Driver = Fruitchain_scenario.Driver
+
+let id = "E20"
+let title = "Delay-spike magnitude -> measured fairness delta"
+
+let claim =
+  "Def 3.1/Thm 4.1: fairness delta ~ 3*kappa/T needs Delta-bounded delivery; spikes to \
+   Delta' >> Delta measurably erode the worst-window share of a phi = 0.25 subset."
+
+let n = Exp.default_n
+let subset = [ 0; 1; 2; 3; 4 ]
+let window = 300
+
+(* Spikes cover the second half of every 1000-round period, so every run
+   alternates healthy and spiked regimes regardless of length. *)
+let spike_events ~rounds ~delta' =
+  if delta' <= Exp.default_delta then []
+  else
+    List.init (rounds / 1_000) (fun i ->
+        Scenario.Delay_spike
+          { from = (i * 1_000) + 500; until = (i * 1_000) + 1_000; delta' })
+
+let scenario ~rounds ~delta' ~seed =
+  Scenario.make_exn
+    ~description:"E20 sweep point: periodic delay spikes, honest parties only"
+    ~n ~rho:0.0 ~delta:Exp.default_delta ~rounds ~seed ~p:Exp.default_p ~q:10.0 ~kappa:8
+    ~name:(Printf.sprintf "e20-spike-%d" delta')
+    ~events:(spike_events ~rounds ~delta') ()
+
+let run ?(scale = Exp.Full) () =
+  let rounds = Exp.rounds scale ~full:8_000 in
+  let magnitudes =
+    match scale with
+    | Exp.Full -> [ 2; 4; 8; 32; 128 ]
+    | Exp.Quick -> [ 2; 8; 64 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "500-round spikes to Delta' every 1000 rounds (n=%d, Delta=%d, |S|=%d, \
+            T=%d fruits, %d rounds)"
+           n Exp.default_delta (List.length subset) window rounds)
+      ~columns:
+        [
+          ("Delta'", Table.Right);
+          ("min window share", Table.Right);
+          ("overall share", Table.Right);
+          ("measured delta", Table.Right);
+        ]
+      ()
+  in
+  let units =
+    List.map
+      (fun delta' ~seed ->
+        let trace = Driver.run ~seed (scenario ~rounds ~delta' ~seed) in
+        Fairness.fruit_fairness trace ~subset ~window)
+      magnitudes
+  in
+  List.iter2
+    (fun delta' (r : Fairness.report) ->
+      let measured_delta = 1.0 -. (r.Fairness.min_share /. r.Fairness.phi) in
+      Table.add_row table
+        [
+          Table.int delta';
+          Table.fpct r.Fairness.min_share;
+          Table.fpct r.Fairness.overall_share;
+          Table.f4 measured_delta;
+        ])
+    magnitudes
+    (Runs.run_parallel ~master:20L units);
+  {
+    Exp.id;
+    title;
+    claim;
+    table;
+    notes =
+      [
+        "Delta' = 2 is the unfaulted baseline (no spike events at all) — its measured \
+         delta is the protocol's intrinsic 3*kappa/T wobble";
+        "degradation is gradual, not a cliff: late fruits are still recorded while they \
+         hang inside R*kappa, so moderate spikes cost little — exactly the recency-window \
+         robustness the paper argues in S4";
+      ];
+  }

@@ -1,0 +1,8 @@
+(** E20: Delay-spike magnitude -> measured fairness delta (fruitstorm).
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -1,0 +1,8 @@
+(** E21: Churn rate -> chain quality (fruitstorm).
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

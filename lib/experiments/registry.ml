@@ -18,6 +18,9 @@ let all : (module Exp.EXPERIMENT) list =
     (module E16_stubborn);
     (module E17_recency_sweep);
     (module E18_topology_delta);
+    (module E19_partition_consistency);
+    (module E20_delay_spike_fairness);
+    (module E21_churn_quality);
   ]
 
 let find id =

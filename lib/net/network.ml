@@ -4,11 +4,16 @@ module Scope = Fruitchain_obs.Scope
 
 type schedule = At of int | Uniform_in_window | Next_round | Max_delay
 
+type policy = now:int -> sender:int -> recipient:int -> round:int -> int
+
 type envelope = { seq : int; message : Message.t }
 
 type t = {
   n : int;
   delta : int;
+  (* Environment-level delivery policy (fault injection): consulted after
+     the Δ-clamp with the resolved round; [None] is the identity. *)
+  policy : policy option;
   (* Per recipient: delivery round -> envelopes (reverse enqueue order). *)
   inboxes : (int, envelope list) Hashtbl.t array;
   mutable seq : int;
@@ -22,7 +27,7 @@ type t = {
   delay_hist : Metrics.histogram option;
 }
 
-let create ?(scope = Scope.null) ~n ~delta () =
+let create ?(scope = Scope.null) ?policy ~n ~delta () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   if delta < 1 then invalid_arg "Network.create: delta must be >= 1";
   let delay_hist =
@@ -34,6 +39,7 @@ let create ?(scope = Scope.null) ~n ~delta () =
   {
     n;
     delta;
+    policy;
     inboxes = Array.init n (fun _ -> Hashtbl.create 64);
     seq = 0;
     pending = 0;
@@ -61,6 +67,14 @@ let enqueue t ~recipient ~round message =
 let send_to t ~now ~recipient ~schedule ~rng message =
   if recipient < 0 || recipient >= t.n then invalid_arg "Network.send_to: bad recipient";
   let round = resolve_round t ~now ~rng schedule in
+  (* The policy may move a delivery beyond the Δ-clamp (an injected fault);
+     it can never deliver into the past or the current round. *)
+  let round =
+    match t.policy with
+    | None -> round
+    | Some p ->
+        max (now + 1) (p ~now ~sender:message.Message.sender ~recipient ~round)
+  in
   t.sent <- t.sent + 1;
   (match t.delay_hist with
   | None -> ()

@@ -16,13 +16,28 @@
 
 type t
 
-val create : ?scope:Fruitchain_obs.Scope.t -> n:int -> delta:int -> unit -> t
+type policy = now:int -> sender:int -> recipient:int -> round:int -> int
+(** An environment-level delivery policy (the fruitstorm fault-injection
+    hook). After a schedule is resolved and clamped into the honest window
+    [\[now+1, now+Δ\]], the policy sees the send round, the message's
+    sender (-1 for adversary injections), the recipient, and the resolved
+    delivery [round], and returns the actual delivery round — which {e may}
+    exceed the Δ bound (that is the point: a partition or an eclipse holds
+    cross-group traffic until it heals, a delay spike widens the clamp
+    window). The result is re-clamped to [>= now + 1]. A policy must be a
+    pure function of its arguments to preserve the determinism contract;
+    whenever no fault covers [now] it must return [round] unchanged, which
+    keeps the honest-traffic Δ-bound intact (guarded by a QCheck property
+    in [test/test_properties.ml]). *)
+
+val create : ?scope:Fruitchain_obs.Scope.t -> ?policy:policy -> n:int -> delta:int -> unit -> t
 (** [n] parties (indices [0 .. n-1]); honest messages must arrive within
     [delta] rounds. [delta >= 1]. With a live [?scope] (default
     {!Fruitchain_obs.Scope.null}) the network resolves a [net.delay]
     histogram at creation and observes each message's delivery delay in
     rounds — delays are protocol semantics, so the histogram is part of the
-    golden (deterministic) metric dump. *)
+    golden (deterministic) metric dump. [?policy] (default: none, i.e. the
+    identity) is the fault-injection delivery policy above. *)
 
 val delta : t -> int
 val n : t -> int

@@ -1,0 +1,166 @@
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Strategy = Fruitchain_sim.Strategy
+module Params = Fruitchain_core.Params
+module Network = Fruitchain_net.Network
+module Adversary = Fruitchain_adversary
+module Consistency = Fruitchain_metrics.Consistency
+module Quality = Fruitchain_metrics.Quality
+module Scope = Fruitchain_obs.Scope
+module Json = Fruitchain_obs.Json
+module Rng = Fruitchain_util.Rng
+module Pool = Fruitchain_util.Pool
+module Table = Fruitchain_util.Table
+
+let policy scenario : Network.policy =
+ fun ~now ~sender ~recipient ~round ->
+  Scenario.delivery_round scenario ~now ~sender ~recipient ~round
+
+let boundary scenario ~round =
+  List.exists
+    (fun ev ->
+      match Scenario.window_of ev with
+      | Some (from, until) -> from = round || until = round
+      | None -> false)
+    scenario.Scenario.events
+
+let round_hook scenario ~scope ~round =
+  if Scenario.active_faults scenario ~round > 0 then
+    Scope.incr ~golden:true scope "scenario.fault_rounds";
+  if round = 0 || boundary scenario ~round then
+    Scope.set_gauge ~golden:true scope "scenario.active_faults"
+      (float_of_int (Scenario.active_faults scenario ~round));
+  if Scope.tracing scope then
+    List.iteri
+      (fun i ev ->
+        match Scenario.window_of ev with
+        | Some (from, until) ->
+            if from = round then
+              Scope.emit scope "scenario.fault_on"
+                [
+                  ("round", Json.Int round);
+                  ("event", Json.Int i);
+                  ("kind", Json.Str (Scenario.kind_name ev));
+                ];
+            if until = round then
+              Scope.emit scope "scenario.fault_off"
+                [
+                  ("round", Json.Int round);
+                  ("event", Json.Int i);
+                  ("kind", Json.Str (Scenario.kind_name ev));
+                ]
+        | None -> ())
+      scenario.Scenario.events
+
+let workload scenario : Engine.workload =
+ fun ~round ~party -> Scenario.burst_record scenario ~round ~party
+
+let config ?seed (s : Scenario.t) =
+  let protocol =
+    match s.protocol with
+    | Scenario.Nakamoto -> Config.Nakamoto
+    | Scenario.Fruitchain -> Config.Fruitchain
+  in
+  let by_round (r1, _) (r2, _) = Int.compare r1 r2 in
+  let corruption_schedule, uncorruption_schedule = Scenario.churn_schedules s in
+  Config.make ~protocol ~n:s.n ~rho:s.rho ~delta:s.delta ~rounds:s.rounds
+    ~seed:(Option.value seed ~default:s.seed)
+    ~corruption_schedule:(List.sort by_round corruption_schedule)
+    ~uncorruption_schedule:(List.sort by_round uncorruption_schedule)
+    ~gossip_schedule:(List.sort by_round (Scenario.gossip_schedule s))
+    ~snapshot_interval:(max 10 (s.rounds / 200))
+    ~head_snapshot_interval:(max 10 (s.rounds / 100))
+    ~params:(Params.make ~p:s.p ~pf:(s.p *. s.q) ~kappa:s.kappa ())
+    ()
+
+(* ρ = 0 scenarios study pure network faults, so the adversary reduces to
+   the worst-case Δ-scheduler; with corrupt power present we default to the
+   strongest single strategy in the tree. *)
+let strategy (s : Scenario.t) : (module Strategy.S) =
+  if s.rho > 0.0 || List.exists (function Scenario.Churn _ -> true | _ -> false) s.events
+  then
+    (module Adversary.Selfish.Make (struct
+      let gamma = 0.5
+      let broadcast_fruits = true
+      let lead_stubborn = false
+      let equal_fork_stubborn = false
+    end))
+  else (module Adversary.Delays.Null_max)
+
+let run ?seed ?scope (s : Scenario.t) =
+  Engine.run ~config:(config ?seed s) ~strategy:(strategy s) ~workload:(workload s)
+    ~net_policy:(policy s)
+    ~round_hook:(round_hook s)
+    ?scope ()
+
+type trial = {
+  trial : int;
+  blocks : int;
+  max_divergence : int;
+  max_rollback : int;
+  consistency_violation : bool;  (** Either maximum exceeds κ. *)
+  adv_block_share : float;
+  adv_fruit_share : float;
+}
+
+let measure ~kappa ~index trace =
+  let chain = Trace.honest_final_chain trace in
+  let report = Consistency.measure trace in
+  let pairwise, rollback = Consistency.violations report ~t0:kappa in
+  let honest_head =
+    match Trace.honest_parties trace with
+    | p :: _ -> Trace.final_head_of trace ~party:p
+    | [] -> Trace.final_head_of trace ~party:0
+  in
+  {
+    trial = index;
+    blocks = List.length chain;
+    max_divergence = report.Consistency.max_pairwise_divergence;
+    max_rollback = report.Consistency.max_future_rollback;
+    consistency_violation = pairwise + rollback > 0;
+    adv_block_share = Quality.adversarial_fraction (Quality.block_shares chain);
+    adv_fruit_share =
+      Quality.adversarial_fraction
+        (Quality.chain_fruit_shares (Trace.store trace) ~head:honest_head);
+  }
+
+let run_trial (s : Scenario.t) ~index ~seed = measure ~kappa:s.kappa ~index (run ~seed s)
+
+let run_trials ?jobs (s : Scenario.t) =
+  Array.to_list
+    (Pool.map ?jobs s.trials ~f:(fun i ->
+         run_trial s ~index:i ~seed:(Rng.derive s.seed ~index:i)))
+
+let share c = if Float.is_nan c then "-" else Table.fpct c
+
+let table (s : Scenario.t) trials =
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "scenario %s: %d trial(s)" s.name s.trials)
+      ~columns:
+        [
+          ("trial", Table.Right);
+          ("blocks", Table.Right);
+          ("max div", Table.Right);
+          ("max rollback", Table.Right);
+          (Printf.sprintf "viol(T=%d)" s.kappa, Table.Right);
+          ("adv blocks", Table.Right);
+          ("adv fruits", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.int r.trial;
+          Table.int r.blocks;
+          Table.int r.max_divergence;
+          Table.int r.max_rollback;
+          (if r.consistency_violation then "YES" else "no");
+          share r.adv_block_share;
+          share r.adv_fruit_share;
+        ])
+    trials;
+  t

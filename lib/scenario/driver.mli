@@ -1,0 +1,64 @@
+(** Running a scenario on the simulator.
+
+    This is the only module of the subsystem that knows about
+    {!Fruitchain_sim}: it translates the pure {!Scenario.t} timeline into
+    the engine's generic hooks — a {!Fruitchain_net.Network.policy} for
+    delivery faults, a round hook for [scenario.*] observability, a
+    workload for bursts, and a {!Fruitchain_sim.Config.t} (churn desugars
+    to the corruption/uncorruption schedules, toggles to the gossip
+    schedule). Trials fan out over the worker pool with
+    [Rng.derive]-split seeds, so results, metric dumps and traces are
+    byte-identical at any [--jobs]. *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
+module Strategy = Fruitchain_sim.Strategy
+module Network = Fruitchain_net.Network
+module Table = Fruitchain_util.Table
+
+val policy : Scenario.t -> Network.policy
+(** {!Scenario.delivery_round} as a network delivery policy. *)
+
+val round_hook : Scenario.t -> scope:Fruitchain_obs.Scope.t -> round:int -> unit
+(** Emits [scenario.fault_on]/[scenario.fault_off] trace events at window
+    boundaries, bumps the golden [scenario.fault_rounds] counter while any
+    fault is active, and maintains the golden [scenario.active_faults]
+    gauge. *)
+
+val workload : Scenario.t -> Engine.workload
+(** {!Scenario.burst_record} — non-empty records during workload bursts. *)
+
+val config : ?seed:int64 -> Scenario.t -> Config.t
+(** The engine configuration a scenario denotes. [?seed] overrides the
+    scenario's seed (per-trial derivation). Snapshot cadence is derived
+    from the run length (heights every rounds/200, heads every rounds/100,
+    at least every 10 rounds) so consistency is measured densely enough to
+    catch partition forks. *)
+
+val strategy : Scenario.t -> (module Strategy.S)
+(** [Null_max] (worst-case Δ-scheduling, no mining) when the scenario has
+    no corrupt power; selfish mining with γ = 0.5 when ρ > 0 or any churn
+    event grants the adversary queries mid-run. *)
+
+val run : ?seed:int64 -> ?scope:Fruitchain_obs.Scope.t -> Scenario.t -> Trace.t
+(** One full simulation of the scenario (one trial). *)
+
+type trial = {
+  trial : int;
+  blocks : int;  (** Canonical honest final chain length. *)
+  max_divergence : int;
+  max_rollback : int;
+  consistency_violation : bool;  (** Either maximum exceeds κ. *)
+  adv_block_share : float;
+  adv_fruit_share : float;  (** [nan]-free only when fruits exist. *)
+}
+
+val run_trial : Scenario.t -> index:int -> seed:int64 -> trial
+
+val run_trials : ?jobs:int -> Scenario.t -> trial list
+(** All [trials] of the scenario on the pool; trial [i] runs with seed
+    [Rng.derive scenario.seed ~index:i]. *)
+
+val table : Scenario.t -> trial list -> Table.t
+(** The uniform result table the CLI and goldens print. *)

@@ -1,0 +1,149 @@
+(* The one place in lib/ allowed to open scenario files (fruitlint R7).
+   Everything else in the subsystem works on strings and Json values. *)
+
+type diag = { file : string; line : int; col : int; code : string; msg : string }
+
+let pp_diag fmt d =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col d.code d.msg
+
+let to_string_diag d = Format.asprintf "%a" pp_diag d
+
+(* ------------------------------------------------------------------ *)
+(* Position bookkeeping: scenario validation reports event *indices*
+   (Scenario.diag), the CLI wants file *lines*.  We scan the raw text once,
+   tracking string/escape state, to find the "events" array and record the
+   offset at which each element starts. *)
+
+let line_col_of_offset source offset =
+  let offset = max 0 (min offset (String.length source)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if source.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol)
+
+(* Offsets of the top-level elements of the "events":[ ... ] array, in
+   order. Purely lexical: the depth-1 key is matched by name, and elements
+   begin at the array's own depth. Returns [] when there is no events
+   array — scenario-level diags then fall back to line 1. *)
+let event_offsets source =
+  let n = String.length source in
+  let offsets = ref [] in
+  let in_events = ref false and events_depth = ref 0 in
+  let depth = ref 0 in
+  let in_string = ref false and escaped = ref false in
+  let last_key = Buffer.create 16 in
+  let reading_key = ref false in
+  let expecting_element = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    if !in_string then begin
+      if !escaped then escaped := false
+      else if c = '\\' then escaped := true
+      else if c = '"' then begin
+        in_string := false;
+        reading_key := false
+      end
+      else if !reading_key then Buffer.add_char last_key c
+    end
+    else
+      (match c with
+      | '"' ->
+          in_string := true;
+          (* A string right after '{' or ',' inside an object is a key. *)
+          let rec prev j =
+            if j < 0 then ' '
+            else
+              match source.[j] with
+              | ' ' | '\t' | '\n' | '\r' -> prev (j - 1)
+              | ch -> ch
+          in
+          let p = prev (!i - 1) in
+          if (p = '{' || p = ',') && not !in_events then begin
+            Buffer.clear last_key;
+            reading_key := true
+          end
+      | ':' ->
+          if
+            !depth = 1
+            && (not !in_events)
+            && String.equal (Buffer.contents last_key) "events"
+          then begin
+            let rec skip j =
+              if
+                j < n
+                && match source.[j] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+              then skip (j + 1)
+              else j
+            in
+            let j = skip (!i + 1) in
+            if j < n && source.[j] = '[' then begin
+              in_events := true;
+              events_depth := !depth + 1;
+              expecting_element := true;
+              depth := !depth + 1;
+              i := j
+            end
+          end
+      | '{' | '[' ->
+          if !in_events && !depth = !events_depth && !expecting_element then begin
+            offsets := !i :: !offsets;
+            expecting_element := false
+          end;
+          incr depth
+      | '}' | ']' ->
+          decr depth;
+          if !in_events && !depth < !events_depth then in_events := false
+      | ',' -> if !in_events && !depth = !events_depth then expecting_element := true
+      | _ -> ());
+    incr i
+  done;
+  List.rev !offsets
+
+(* Json.of_string errors read "... at offset N". *)
+let offset_of_parse_error msg =
+  match String.rindex_opt msg ' ' with
+  | None -> 0
+  | Some sp -> (
+      match int_of_string_opt (String.sub msg (sp + 1) (String.length msg - sp - 1)) with
+      | Some off -> off
+      | None -> 0)
+
+let place ~file ~offsets (source : string) (d : Scenario.diag) =
+  let line, col =
+    match d.Scenario.event with
+    | None -> (1, 0)
+    | Some idx -> (
+        match List.nth_opt (Lazy.force offsets) idx with
+        | Some off -> line_col_of_offset source off
+        | None -> (1, 0))
+  in
+  { file; line; col; code = d.Scenario.code; msg = d.Scenario.msg }
+
+let of_source ~file source =
+  match Fruitchain_obs.Json.of_string source with
+  | Error msg ->
+      let line, col = line_col_of_offset source (offset_of_parse_error msg) in
+      Error [ { file; line; col; code = "S1"; msg = "JSON parse error: " ^ msg } ]
+  | Ok json -> (
+      match Scenario.of_json json with
+      | Ok t -> Ok t
+      | Error diags ->
+          let offsets = lazy (event_offsets source) in
+          Error (List.map (place ~file ~offsets source) diags))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg ->
+      Error [ { file = path; line = 0; col = 0; code = "S0"; msg } ]
+  | source -> of_source ~file:path source

@@ -13,6 +13,7 @@ type t = {
   corruption_schedule : (int * int) list;
   uncorruption_schedule : (int * int) list;
   gossip : bool;
+  gossip_schedule : (int * bool) list;
   snapshot_interval : int;
   head_snapshot_interval : int;
   probe_interval : int;
@@ -52,7 +53,7 @@ let corrupt_count_at t ~round =
 
 let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds = 50_000)
     ?(seed = 1L) ?(corruption_schedule = []) ?(uncorruption_schedule = [])
-    ?(gossip = false) ?(snapshot_interval = 50)
+    ?(gossip = false) ?(gossip_schedule = []) ?(snapshot_interval = 50)
     ?(head_snapshot_interval = 500) ?(probe_interval = 0) ~params () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
   if rho < 0.0 || rho >= 1.0 then invalid_arg "Config.make: rho out of [0, 1)";
@@ -97,6 +98,15 @@ let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds =
           if round <= r then
             invalid_arg "Config.make: uncorruption must follow corruption")
     uncorruption_schedule;
+  let gossip_schedule = List.sort_uniq compare gossip_schedule in
+  List.iter
+    (fun (round, _) ->
+      if round < 0 || round >= rounds then
+        invalid_arg "Config.make: gossip toggle round out of range")
+    gossip_schedule;
+  let toggle_rounds = List.map fst gossip_schedule in
+  if List.length (List.sort_uniq compare toggle_rounds) <> List.length toggle_rounds then
+    invalid_arg "Config.make: contradictory gossip toggles at the same round";
   {
     protocol;
     n;
@@ -108,6 +118,7 @@ let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds =
     corruption_schedule;
     uncorruption_schedule;
     gossip;
+    gossip_schedule;
     snapshot_interval;
     head_snapshot_interval;
     probe_interval;

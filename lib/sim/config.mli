@@ -29,6 +29,11 @@ type t = {
       (** Honest nodes relay unseen fruits and adopted chains (footnote 2);
           default off — the standard model already delivers every broadcast
           to everyone within Δ. *)
+  gossip_schedule : (int * bool) list;
+      (** Scenario [gossip_toggle] events: [(round, on)] pairs at which the
+          engine flips relaying on every live honest node (and on nodes
+          spawned later by uncorruption). Sorted; at most one toggle per
+          round. No-op under Π_nak, whose nodes do not relay. *)
   snapshot_interval : int;
       (** Record per-party chain heights (growth metric) every this many
           rounds. *)
@@ -65,6 +70,7 @@ val make :
   ?protocol:protocol -> ?n:int -> ?rho:float -> ?delta:int -> ?rounds:int ->
   ?seed:int64 -> ?corruption_schedule:(int * int) list ->
   ?uncorruption_schedule:(int * int) list -> ?gossip:bool ->
+  ?gossip_schedule:(int * bool) list ->
   ?snapshot_interval:int ->
   ?head_snapshot_interval:int -> ?probe_interval:int -> params:Params.t -> unit -> t
 (** Defaults: Fruitchain, n = 40, ρ = 0, Δ = 2, 50_000 rounds, seed 1,

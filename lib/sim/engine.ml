@@ -117,13 +117,16 @@ let harvest ~scope ~config ~trace ~network ~oracle ~final_height =
       Metrics.set (Metrics.gauge m "sim.final_height") (float_of_int final_height)
 
 let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_ -> "")
-    ?scope () =
+    ?net_policy ?round_hook ?scope () =
   let scope = match scope with Some s -> s | None -> Pool.current_scope () in
   let master = Rng.of_seed config.Config.seed in
   let store = Store.create () in
   let window = Params.recency_window config.Config.params in
   let views = Window_view.Cache.create ~window ~store in
-  let network = Network.create ~scope ~n:config.Config.n ~delta:config.Config.delta () in
+  let network =
+    Network.create ~scope ?policy:net_policy ~n:config.Config.n
+      ~delta:config.Config.delta ()
+  in
   let trace = Trace.create ~scope ~config ~store () in
   let net_rng = Rng.split master in
   let parties =
@@ -172,7 +175,26 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
   let probe_round round =
     config.Config.probe_interval > 0 && round mod config.Config.probe_interval = 0
   in
+  (* Current relay setting: gossip_toggle events flip it for every live
+     fruit node, and nodes respawned by uncorruption inherit it. *)
+  let gossip_now = ref config.Config.gossip in
   for round = 0 to config.Config.rounds - 1 do
+    (* Scenario driver hook (fruitstorm): applied before the round's three
+       phases so fault windows opening at [round] already govern it. *)
+    (match round_hook with None -> () | Some hook -> hook ~scope ~round);
+    (* Scheduled gossip toggles (scenario sugar; no-op for Nakamoto). *)
+    List.iter
+      (fun (r, on) ->
+        if r = round then begin
+          gossip_now := on;
+          Array.iter
+            (fun p -> match p with Fruit node -> Fruit_node.set_gossip node on | _ -> ())
+            parties;
+          if Scope.tracing scope then
+            Scope.emit scope "scenario.gossip"
+              [ ("round", Json.Int round); ("on", Json.Bool on) ]
+        end)
+      config.Config.gossip_schedule;
     (* Adaptive corruption: Z hands the party to A at its scheduled round;
        the node stops acting (its state is the adversary's to use) and its
        query moves into the adversary's budget (Strategy.q_at). *)
@@ -196,7 +218,7 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
             | Config.Nakamoto -> Nak (Nak_node.create ~id:party ~store ~rng)
             | Config.Fruitchain ->
                 Fruit
-                  (Fruit_node.create ~gossip:config.Config.gossip ~id:party
+                  (Fruit_node.create ~gossip:!gossip_now ~id:party
                      ~params:config.Config.params ~store ~views ~rng ()));
           if Scope.tracing scope then
             Scope.emit scope "uncorrupt"
@@ -303,7 +325,7 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
   end;
   trace
 
-let run ~config ~strategy ?workload ?scope () =
+let run ~config ~strategy ?workload ?net_policy ?round_hook ?scope () =
   let seed_rng = Rng.of_seed (Int64.logxor config.Config.seed 0x5DEECE66DL) in
   let oracle =
     Oracle.sim
@@ -311,4 +333,4 @@ let run ~config ~strategy ?workload ?scope () =
       ~pf:config.Config.params.Params.pf
       (Rng.split seed_rng)
   in
-  run_with_oracle ~config ~strategy ~oracle ?workload ?scope ()
+  run_with_oracle ~config ~strategy ~oracle ?workload ?net_policy ?round_hook ?scope ()

@@ -16,10 +16,21 @@ type workload = Strategy.workload
 
 val run :
   config:Config.t -> strategy:(module Strategy.S) -> ?workload:workload ->
+  ?net_policy:Fruitchain_net.Network.policy ->
+  ?round_hook:(scope:Fruitchain_obs.Scope.t -> round:int -> unit) ->
   ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
 (** Runs the execution to completion and returns the trace. The oracle is
     the sampling backend seeded from [config.seed]; every honest party, the
     adversary, and the network get independent split streams.
+
+    [?net_policy] is installed on the run's network at creation — the
+    fruitstorm fault-injection hook ({!Fruitchain_net.Network.policy}).
+    [?round_hook] is called at the top of every round, before the round's
+    three phases (inbox drain / mining / adversary action), with the run's
+    scope — the scenario driver uses it to emit [scenario.*] trace events
+    and maintain the [scenario.active_faults] gauge. Both must be pure
+    (deterministic) in the simulated round to preserve the jobs-invariance
+    contract.
 
     [?scope] is the fruitscope channel of the run; it defaults to the
     calling domain's ambient scope ({!Fruitchain_util.Pool.current_scope}),
@@ -29,6 +40,9 @@ val run :
 
 val run_with_oracle :
   config:Config.t -> strategy:(module Strategy.S) -> oracle:Oracle.t ->
-  ?workload:workload -> ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
+  ?workload:workload ->
+  ?net_policy:Fruitchain_net.Network.policy ->
+  ?round_hook:(scope:Fruitchain_obs.Scope.t -> round:int -> unit) ->
+  ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
 (** Same, but with a caller-provided oracle — used by tests that exercise
     the real SHA-256 backend end to end. *)

@@ -1,0 +1,6 @@
+(* R7 positive fixture: every line below must fire the input rule. *)
+let slurp path = open_in path
+let slurp_bin path = open_in_bin path
+let slurp_gen path = open_in_gen [ Open_rdonly ] 0 path
+let read ic = In_channel.input_all ic
+let qualified path = Stdlib.open_in path

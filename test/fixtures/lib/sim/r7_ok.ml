@@ -1,0 +1,8 @@
+(* R7 negative fixture: parsing provided contents, write-side channels,
+   and suppressions. *)
+let parse content = String.split_on_char '\n' content
+let save path data = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc data)
+
+(* fruitlint: allow R7 *)
+let raw path = open_in_bin path
+let legacy path = open_in path (* fruitlint: allow R7 *)

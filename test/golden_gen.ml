@@ -8,11 +8,45 @@
 
 module Exp = Fruitchain_experiments.Exp
 module Registry = Fruitchain_experiments.Registry
+module Scenario = Fruitchain_scenario.Scenario
+module Loader = Fruitchain_scenario.Loader
+module Driver = Fruitchain_scenario.Driver
+module Pool = Fruitchain_util.Pool
+module Metrics = Fruitchain_obs.Metrics
+module Scope = Fruitchain_obs.Scope
+
+(* `golden_gen scenario FILE` pins the canonical re-serialization and the
+   trial table; `golden_gen scenario-metrics FILE` pins the golden metric
+   dump of the same run. Both at jobs=2, like the experiment goldens. *)
+let scenario_golden ~dump file =
+  match Loader.load file with
+  | Error diags ->
+      List.iter (fun d -> prerr_endline (Loader.to_string_diag d)) diags;
+      exit 2
+  | Ok s ->
+      let registry = Metrics.create () in
+      Pool.set_scope (Scope.make ~metrics:registry ());
+      let trials =
+        Fun.protect
+          ~finally:(fun () -> Pool.set_scope Scope.null)
+          (fun () -> Driver.run_trials s)
+      in
+      if dump then print_endline (Metrics.dump registry)
+      else begin
+        print_endline (Scenario.to_string s);
+        print_string (Fruitchain_util.Table.to_string (Driver.table s trials))
+      end
 
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "scenario"; file ] ->
+      Pool.set_default_jobs 2;
+      scenario_golden ~dump:false file
+  | [ _; "scenario-metrics"; file ] ->
+      Pool.set_default_jobs 2;
+      scenario_golden ~dump:true file
   | [ _; id ] -> (
-      Fruitchain_util.Pool.set_default_jobs 2;
+      Pool.set_default_jobs 2;
       match Registry.find id with
       | None ->
           prerr_endline ("golden_gen: unknown experiment " ^ id);
@@ -20,5 +54,5 @@ let () =
       | Some (module E) ->
           print_string (Format.asprintf "%a" Exp.print (E.run ~scale:Exp.Quick ())))
   | _ ->
-      prerr_endline "usage: golden_gen EXX";
+      prerr_endline "usage: golden_gen EXX | golden_gen scenario[-metrics] FILE";
       exit 2

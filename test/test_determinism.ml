@@ -38,7 +38,8 @@ let observe ~jobs (module E : Exp.EXPERIMENT) =
 (* The experiments that actually emit parallel work units (the sweeps);
    these get the extra repeated-run check at jobs=4, where scheduling noise
    would show up if any unit drew from shared state. *)
-let parallel_ids = [ "E01"; "E02"; "E03"; "E07"; "E16"; "E17"; "E18" ]
+let parallel_ids =
+  [ "E01"; "E02"; "E03"; "E07"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ]
 
 let test_jobs_invariance (module E : Exp.EXPERIMENT) () =
   let sequential = render ~jobs:1 (module E) in
@@ -72,6 +73,51 @@ let test_scope_invariance (module E : Exp.EXPERIMENT) () =
   Alcotest.(check bool) (E.id ^ ": the scoped run actually recorded metrics") true
     (not (String.equal seq_metrics {|{"counters":{},"gauges":{},"histograms":{}}|}))
 
+(* Scenario runs (lib/scenario) carry the same contract as experiments: the
+   rendered trial table, the golden metric dump, and the merged trace of a
+   scenario must be byte-identical at any worker count. This is the
+   in-suite version of the CLI acceptance check
+   [scenario run ... --jobs 4 == --jobs 1]. *)
+module Scenario = Fruitchain_scenario.Scenario
+module Loader = Fruitchain_scenario.Loader
+module Driver = Fruitchain_scenario.Driver
+
+let scenario_fixture () =
+  match Loader.load "fixtures/scenarios/partition_small.json" with
+  | Ok s -> s
+  | Error _ -> Alcotest.fail "fixture scenario must load"
+
+let observe_scenario ~jobs s =
+  Pool.set_default_jobs jobs;
+  let registry = Metrics.create () in
+  let tracer = Tracer.buffer () in
+  Pool.set_scope (Scope.make ~metrics:registry ~tracer ());
+  let trials =
+    Fun.protect
+      ~finally:(fun () -> Pool.set_scope Scope.null)
+      (fun () -> Driver.run_trials s)
+  in
+  ( Fruitchain_util.Table.to_string (Driver.table s trials),
+    Metrics.dump registry,
+    String.concat "\n" (Tracer.lines tracer) )
+
+let test_scenario_jobs_invariance () =
+  let s = scenario_fixture () in
+  let seq_table, seq_metrics, seq_trace = observe_scenario ~jobs:1 s in
+  let par_table, par_metrics, par_trace = observe_scenario ~jobs:4 s in
+  Alcotest.(check string) "scenario tables at --jobs 1 and --jobs 4" seq_table par_table;
+  Alcotest.(check string) "scenario metric dumps at --jobs 1 and --jobs 4"
+    seq_metrics par_metrics;
+  Alcotest.(check string) "scenario traces at --jobs 1 and --jobs 4" seq_trace par_trace;
+  Alcotest.(check bool) "the run recorded scenario metrics" true
+    (not (String.equal seq_metrics {|{"counters":{},"gauges":{},"histograms":{}}|}))
+
+let test_scenario_repeat_stability () =
+  let s = scenario_fixture () in
+  let first = observe_scenario ~jobs:4 s in
+  let second = observe_scenario ~jobs:4 s in
+  Alcotest.(check bool) "two jobs=4 scenario runs are identical" true (first = second)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -96,4 +142,11 @@ let () =
                 Alcotest.test_case E.id `Slow (test_scope_invariance (module E)))
               (Registry.find id))
           scoped_ids );
+      ( "scenario invariance (fruitstorm)",
+        [
+          Alcotest.test_case "partition_small jobs 1 == 4" `Slow
+            test_scenario_jobs_invariance;
+          Alcotest.test_case "partition_small repeat stability" `Slow
+            test_scenario_repeat_stability;
+        ] );
     ]

@@ -7,7 +7,7 @@ module Registry = Fruitchain_experiments.Registry
 module Table = Fruitchain_util.Table
 
 let test_registry_complete () =
-  Alcotest.(check int) "eighteen experiments" 18 (List.length Registry.all);
+  Alcotest.(check int) "twenty-one experiments" 21 (List.length Registry.all);
   let ids = List.map fst (Registry.ids ()) in
   List.iteri
     (fun i id ->
@@ -83,5 +83,10 @@ let () =
           Alcotest.test_case "E16 stubborn" `Slow (fun () -> test_run_quick "E16");
           Alcotest.test_case "E17 recency sweep" `Slow (fun () -> test_run_quick "E17");
           Alcotest.test_case "E18 topology delta" `Slow (fun () -> test_run_quick "E18");
+          Alcotest.test_case "E19 partition consistency" `Slow (fun () ->
+              test_run_quick "E19");
+          Alcotest.test_case "E20 delay-spike fairness" `Slow (fun () ->
+              test_run_quick "E20");
+          Alcotest.test_case "E21 churn quality" `Slow (fun () -> test_run_quick "E21");
         ] );
     ]

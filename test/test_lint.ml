@@ -125,6 +125,33 @@ let test_r6_distinct_from_r1 () =
        (fun (d : Lint.diag) -> Lint.rule_name d.rule)
        (diags "lib/sim/x.ml" "let now () = Unix.gettimeofday ()" [ Lint.R1; Lint.R6 ]))
 
+(* --- R7: input confinement --------------------------------------------- *)
+
+let test_r7_fires () =
+  let file = fx "lib/sim/r7_bad.ml" in
+  check_diags "open_in, open_in_bin, open_in_gen, In_channel, Stdlib.open_in all flagged"
+    [ (file, 2, "R7"); (file, 3, "R7"); (file, 4, "R7"); (file, 5, "R7"); (file, 6, "R7") ]
+    (Lint.lint_files ~only:[ Lint.R7 ] [ file ])
+
+let test_r7_clean () =
+  check_diags "parsing provided contents, write channels, suppressions pass" []
+    (Lint.lint_files ~only:[ Lint.R7 ] [ fx "lib/sim/r7_ok.ml" ])
+
+let test_r7_allowlist () =
+  (* The scenario loader and the snapshot store are the blessed readers. *)
+  check_diags "lib/scenario/loader.ml is allowlisted" []
+    (Lint.lint_source ~only:[ Lint.R7 ] ~path:"lib/scenario/loader.ml"
+       "let read path = open_in_bin path");
+  check_diags "lib/chain/snapshot.ml is allowlisted" []
+    (Lint.lint_source ~only:[ Lint.R7 ] ~path:"lib/chain/snapshot.ml"
+       "let read path = open_in_bin path")
+
+let test_r7_scoped_to_lib () =
+  (* CLIs read files for a living; the rule only guards the libraries. *)
+  check_diags "open_in outside lib/ is allowed" []
+    (Lint.lint_source ~only:[ Lint.R7 ] ~path:"bin/main.ml"
+       "let read path = open_in_bin path")
+
 (* --- Suppression parsing --------------------------------------------- *)
 
 let test_suppression_is_per_rule () =
@@ -211,6 +238,13 @@ let () =
           Alcotest.test_case "clean" `Quick test_r6_clean;
           Alcotest.test_case "allowlist" `Quick test_r6_allowlist;
           Alcotest.test_case "distinct from R1" `Quick test_r6_distinct_from_r1;
+        ] );
+      ( "R7 input confinement",
+        [
+          Alcotest.test_case "fires" `Quick test_r7_fires;
+          Alcotest.test_case "clean" `Quick test_r7_clean;
+          Alcotest.test_case "allowlist" `Quick test_r7_allowlist;
+          Alcotest.test_case "scoped to lib" `Quick test_r7_scoped_to_lib;
         ] );
       ( "suppression",
         [

@@ -18,6 +18,10 @@ module State = Fruitchain_currency.State
 module Quality = Fruitchain_metrics.Quality
 module Theory = Fruitchain_metrics.Selfish_theory
 module Retarget = Fruitchain_difficulty.Retarget
+module Scenario = Fruitchain_scenario.Scenario
+module Driver = Fruitchain_scenario.Driver
+module Network = Fruitchain_net.Network
+module Message = Fruitchain_net.Message
 
 let easy = Oracle.real ~p:1.0 ~pf:1.0
 
@@ -248,6 +252,92 @@ let qcheck_retarget_clamped =
       let p' = Retarget.next_p params ~current_p:p ~epoch_duration:duration in
       p' > 0.0 && p' <= 1.0 && p' >= (p /. 4.0) -. 1e-12 && p' <= (p *. 4.0) +. 1e-12)
 
+(* --- fruitstorm delivery-policy faults (lib/scenario) ------------------ *)
+
+(* Drive a policy-equipped network round by round: every round one random
+   honest party broadcasts a fruit with a uniform-in-window schedule, and
+   every inbox is drained. After the scenario ends, draining continues to
+   [horizon] so held messages flush. Returns the network and the delivery
+   log [(sent_at, sender, recipient, delivered_at)]. *)
+let drive_network s ~horizon =
+  let n = s.Scenario.n and delta = s.Scenario.delta in
+  let net = Network.create ~policy:(Driver.policy s) ~n ~delta () in
+  let rng = Rng.of_seed (Int64.add s.Scenario.seed 13L) in
+  let log = ref [] in
+  let drain_round round =
+    for recipient = 0 to n - 1 do
+      List.iter
+        (fun (m : Message.t) ->
+          log := (m.Message.sent_at, m.Message.sender, recipient, round) :: !log)
+        (Network.drain net ~round ~recipient)
+    done
+  in
+  for now = 0 to s.Scenario.rounds - 1 do
+    let sender = Rng.int rng n in
+    let fruit = mine_fruit rng ~pointer:Types.genesis_hash ~record:(Printf.sprintf "r%d" now) in
+    Network.broadcast net ~now
+      ~schedule:(fun ~recipient:_ -> Network.Uniform_in_window)
+      ~rng
+      (Message.fruit_announce ~sender ~sent_at:now fruit);
+    drain_round now
+  done;
+  for round = s.Scenario.rounds to horizon do
+    drain_round round
+  done;
+  (net, List.rev !log)
+
+let two_halves = [ [ 0; 1; 2; 3; 4 ]; [ 5; 6; 7; 8; 9 ] ]
+
+let qcheck_policy_delta_bound_without_fault =
+  QCheck.Test.make
+    ~name:"scenario policy: no active fault => honest delivery within Delta" ~count:15
+    QCheck.(triple (int_bound 1000) (int_range 40 120) (int_range 20 100))
+    (fun (seed, from, len) ->
+      let rounds = 400 in
+      let until = min (rounds - 1) (from + len) in
+      let s =
+        Scenario.make_exn ~name:"prop" ~n:10 ~delta:3 ~rounds
+          ~seed:(Int64.of_int seed)
+          ~events:
+            [
+              Scenario.Partition { from; until; groups = two_halves };
+              Scenario.Delay_spike { from = 250; until = 320; delta' = 9 };
+              Scenario.Eclipse { from = 150; until = 230; party = 7 };
+            ]
+          ()
+      in
+      let net, log = drive_network s ~horizon:(rounds + 12) in
+      Network.pending net = 0
+      && List.for_all
+           (fun (sent_at, _, _, delivered_at) ->
+             Scenario.delivery_faulted s ~round:sent_at
+             || delivered_at - sent_at <= s.Scenario.delta)
+           log)
+
+let qcheck_policy_partition_blocks_cross_group =
+  QCheck.Test.make
+    ~name:"scenario policy: active partition => zero cross-group deliveries before heal"
+    ~count:15
+    QCheck.(triple (int_bound 1000) (int_range 30 150) (int_range 20 150))
+    (fun (seed, from, len) ->
+      let rounds = 350 in
+      let until = min (rounds - 1) (from + len) in
+      let group_of p = if p < 5 then 0 else 1 in
+      let s =
+        Scenario.make_exn ~name:"prop" ~n:10 ~delta:2 ~rounds
+          ~seed:(Int64.of_int seed)
+          ~events:[ Scenario.Partition { from; until; groups = two_halves } ]
+          ()
+      in
+      let net, log = drive_network s ~horizon:(rounds + 6) in
+      Network.pending net = 0
+      && List.for_all
+           (fun (sent_at, sender, recipient, delivered_at) ->
+             let cross = sender >= 0 && group_of sender <> group_of recipient in
+             (not (cross && sent_at >= from && sent_at < until))
+             || delivered_at >= until)
+           log)
+
 (* --- Parallel-runner seed derivation (Rng.derive + Pool) --------------- *)
 
 let qcheck_derive_order_independent_and_distinct =
@@ -318,6 +408,8 @@ let () =
             qcheck_worst_window_bounds;
             qcheck_selfish_theory_bounds;
             qcheck_retarget_clamped;
+            qcheck_policy_delta_bound_without_fault;
+            qcheck_policy_partition_blocks_cross_group;
             qcheck_derive_order_independent_and_distinct;
             qcheck_derive_streams_no_reuse;
             qcheck_pool_map_schedule_invariant;

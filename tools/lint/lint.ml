@@ -22,12 +22,18 @@
          timing goes through Fruitchain_obs.Clock, so a grep of that one
          file audits every place time can leak in.
 
+     R7  input confinement: file reads (open_in* and In_channel) under lib/
+         may appear only in lib/scenario/loader.ml and
+         lib/chain/snapshot.ml — library results must be functions of
+         explicit arguments, not of ambient files, so a grep of two files
+         audits every input path.
+
    Suppression: a comment containing "fruitlint: allow R<n> [R<m> ...]"
    silences those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -36,6 +42,7 @@ let rule_name = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
 
 let rule_of_string = function
   | "R1" -> Some R1
@@ -44,6 +51,7 @@ let rule_of_string = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
   | _ -> None
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -124,6 +132,17 @@ let r6_allowlist = [ [ "lib"; "obs"; "clock.ml" ] ]
 
 let r6_applies path =
   not (List.exists (fun a -> contains_sublist a (components path)) r6_allowlist)
+
+(* Input confinement: under lib/, only the scenario loader and the chain
+   snapshot store may open files for reading.  bin/, bench/ and tools/ are
+   CLIs — reading files is their job. *)
+let r7_allowlist =
+  [ [ "lib"; "scenario"; "loader.ml" ]; [ "lib"; "chain"; "snapshot.ml" ] ]
+
+let r7_applies path =
+  let cs = components path in
+  contains_sublist [ "lib" ] cs
+  && not (List.exists (fun a -> contains_sublist a cs) r7_allowlist)
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments.  [suppressions content] maps a (line, rule) pair
@@ -223,6 +242,20 @@ let r6_violation lid =
          Fruitchain_obs.Clock"
   | _ -> None
 
+let r7_violation lid =
+  match strip_stdlib (flatten lid) with
+  | [ ("open_in" | "open_in_bin" | "open_in_gen") as f ] ->
+      Some
+        (Printf.sprintf
+           "%s is confined to lib/scenario/loader.ml and lib/chain/snapshot.ml; pass \
+            contents in, or extend the loader"
+           f)
+  | "In_channel" :: _ ->
+      Some
+        "In_channel.* is confined to lib/scenario/loader.ml and lib/chain/snapshot.ml; \
+         pass contents in, or extend the loader"
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* AST traversal. *)
 
@@ -234,6 +267,7 @@ let lint_structure ~path ~only structure =
   let r3 = enabled R3 && r3_applies path in
   let r5 = enabled R5 && r5_applies path in
   let r6 = enabled R6 && r6_applies path in
+  let r7 = enabled R7 && r7_applies path in
   let push (loc : Location.t) rule msg =
     let p = loc.loc_start in
     diags := { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: !diags
@@ -243,7 +277,8 @@ let lint_structure ~path ~only structure =
     if r2 then Option.iter (push loc R2) (r2_violation lid);
     if r3 then Option.iter (push loc R3) (r3_violation lid);
     if r5 then Option.iter (push loc R5) (r5_violation lid);
-    if r6 then Option.iter (push loc R6) (r6_violation lid)
+    if r6 then Option.iter (push loc R6) (r6_violation lid);
+    if r7 then Option.iter (push loc R7) (r7_violation lid)
   in
   let super = Ast_iterator.default_iterator in
   let expr self (e : Parsetree.expression) =
@@ -259,7 +294,8 @@ let lint_structure ~path ~only structure =
     | Pmod_ident { txt; _ } ->
         (* Catches [open Unix], [module R = Random], [include Domain]. *)
         if r1 then Option.iter (push m.pmod_loc R1) (r1_violation txt);
-        if r5 then Option.iter (push m.pmod_loc R5) (r5_violation txt)
+        if r5 then Option.iter (push m.pmod_loc R5) (r5_violation txt);
+        if r7 then Option.iter (push m.pmod_loc R7) (r7_violation txt)
     | _ -> ());
     super.module_expr self m
   in

@@ -18,11 +18,15 @@
     - {b R6} clock confinement: wall-clock reads ([Unix.gettimeofday],
       [Unix.time], [Sys.time], ...) only in [lib/obs/clock.ml] — time
       telemetry goes through [Fruitchain_obs.Clock].
+    - {b R7} input confinement: file reads ([open_in*] and [In_channel])
+      under [lib/] only in [lib/scenario/loader.ml] and
+      [lib/chain/snapshot.ml] — library results must be functions of
+      explicit arguments, not of ambient files.
 
     A comment containing ["fruitlint: allow R<n> [R<m> ...]"] suppresses
     those rules on its own line and on the following line. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 val all_rules : rule list
 val rule_name : rule -> string
