@@ -9,70 +9,93 @@ module Strategy = Fruitchain_sim.Strategy
 module Config = Fruitchain_sim.Config
 module Trace = Fruitchain_sim.Trace
 
+(* [Config.corrupt_parties] is [n-1; n-2; ...]: its minimum is [n - count].
+   Computed arithmetically — this runs per won object and per coalition
+   query, where building the list was measurable. *)
 let coalition_miner (ctx : Strategy.ctx) =
-  match Config.corrupt_parties ctx.config with [] -> -1 | ids -> List.fold_left min max_int ids
+  let count = Config.corrupt_count ctx.config in
+  if Int.equal count 0 then -1 else ctx.config.Config.n - count
 
 type mined = { fruit : Types.fruit option; block : Types.block option }
 
+(* Shared by every losing attempt: the miss path of [mine_once] must not
+   allocate. *)
+let nothing = { fruit = None; block = None }
+
+let finish (ctx : Strategy.ctx) ~round ~parent ~pointer ~nonce ~digest ~record ~fruits ~hash
+    ~won_fruit ~won_block =
+  let header = { Types.parent; pointer; nonce; digest; record } in
+  let miner = coalition_miner ctx in
+  let prov = Some { Types.miner; round; honest = false } in
+  let fruit =
+    if won_fruit then begin
+      let f = { Types.f_header = header; f_hash = hash; f_prov = prov } in
+      Trace.record_event ctx.trace { Trace.round; miner; honest = false; kind = `Fruit; hash };
+      Some f
+    end
+    else None
+  in
+  let block =
+    if won_block then begin
+      let b = { Types.b_header = header; b_hash = hash; fruits; b_prov = prov } in
+      Store.add ctx.store b;
+      Trace.record_event ctx.trace { Trace.round; miner; honest = false; kind = `Block; hash };
+      Some b
+    end
+    else None
+  in
+  { fruit; block }
+
 let mine_once (ctx : Strategy.ctx) ~round ~parent ~pointer ~fruits ~record =
   let oracle = ctx.oracle in
-  let nonce = Rng.bits64 ctx.rng in
-  let hash, committed =
-    if Oracle.is_sim oracle then (Oracle.query oracle "", None)
+  if Oracle.is_sim oracle then begin
+    (* Nonce draw first, as always; boxing it waits for a win. The attempt
+       draws from the oracle's own generator, so the scratch slots of
+       [ctx.rng] survive it. *)
+    Rng.draw ctx.rng;
+    let mask = Oracle.attempt oracle "" in
+    if Int.equal mask 0 then nothing
     else begin
-      let fruits = fruits () in
-      let digest = Validate.fruit_set_digest fruits in
-      let header = { Types.parent; pointer; nonce; digest; record } in
-      (Oracle.query oracle (Codec.header_bytes header), Some (fruits, digest))
+      let nonce = Rng.last_bits64 ctx.rng in
+      let hash = Oracle.attempt_hash oracle in
+      let won_fruit = Oracle.attempt_won_fruit mask in
+      let won_block = Oracle.attempt_won_block mask in
+      let fruits, digest =
+        if won_block then begin
+          let fruits = fruits () in
+          (fruits, Validate.fruit_set_digest fruits)
+        end
+        else ([], Merkle.empty_root)
+      in
+      finish ctx ~round ~parent ~pointer ~nonce ~digest ~record ~fruits ~hash ~won_fruit
+        ~won_block
     end
-  in
-  let won_fruit = Oracle.mined_fruit oracle hash in
-  let won_block = Oracle.mined_block oracle hash in
-  if not (won_fruit || won_block) then { fruit = None; block = None }
+  end
   else begin
-    let fruits, digest =
-      match committed with
-      | Some (fruits, digest) -> (fruits, digest)
-      | None ->
-          if won_block then begin
-            let fruits = fruits () in
-            (fruits, Validate.fruit_set_digest fruits)
-          end
-          else ([], Merkle.empty_root)
-    in
+    let nonce = Rng.bits64 ctx.rng in
+    let fruits = fruits () in
+    let digest = Validate.fruit_set_digest fruits in
     let header = { Types.parent; pointer; nonce; digest; record } in
-    let miner = coalition_miner ctx in
-    let prov = Some { Types.miner; round; honest = false } in
-    let fruit =
-      if won_fruit then begin
-        let f = { Types.f_header = header; f_hash = hash; f_prov = prov } in
-        Trace.record_event ctx.trace
-          { Trace.round; miner; honest = false; kind = `Fruit; hash };
-        Some f
-      end
-      else None
-    in
-    let block =
-      if won_block then begin
-        let b = { Types.b_header = header; b_hash = hash; fruits; b_prov = prov } in
-        Store.add ctx.store b;
-        Trace.record_event ctx.trace
-          { Trace.round; miner; honest = false; kind = `Block; hash };
-        Some b
-      end
-      else None
-    in
-    { fruit; block }
+    let hash = Oracle.query oracle (Codec.header_bytes header) in
+    let won_fruit = Oracle.mined_fruit oracle hash in
+    let won_block = Oracle.mined_block oracle hash in
+    if not (won_fruit || won_block) then nothing
+    else
+      finish ctx ~round ~parent ~pointer ~nonce ~digest ~record ~fruits ~hash ~won_fruit
+        ~won_block
   end
 
 let observe_best_head (ctx : Strategy.ctx) msgs ~current =
   List.fold_left
     (fun ((_, best_height) as best) (m : Message.t) ->
       match m.payload with
-      | Message.Chain_announce { head; _ } when Store.mem ctx.store head ->
-          let h = Store.height ctx.store head in
-          if h > best_height then (head, h) else best
-      | Message.Chain_announce _ | Message.Fruit_announce _ -> best)
+      | Message.Chain_announce { head; _ } -> (
+          match Store.find_id ctx.store head with
+          | Some hid ->
+              let h = Store.height_at ctx.store hid in
+              if h > best_height then (head, h) else best
+          | None -> best)
+      | Message.Fruit_announce _ -> best)
     current msgs
 
 let announce_to (ctx : Strategy.ctx) ~round ~recipient ~priority ~blocks ~head =
@@ -110,6 +133,7 @@ let broadcast_fruit (ctx : Strategy.ctx) ~round fruit =
         ~rng:ctx.Strategy.rng msg)
 
 let coalition_record (ctx : Strategy.ctx) ~round =
-  match Config.corrupt_parties ctx.config with
-  | [] -> ""
-  | party :: _ -> ctx.workload ~round ~party
+  (* First element of [Config.corrupt_parties] is [n - 1]; avoid building
+     the list on this per-query path. *)
+  if Int.equal (Config.corrupt_count ctx.config) 0 then ""
+  else ctx.workload ~round ~party:(ctx.config.Config.n - 1)

@@ -63,10 +63,16 @@ module M : Strategy.S = struct
     let best_head, best_height = best in
     if best_height > Store.height t.ctx.store t.head then adopt t best_head;
     let fruitchain = t.ctx.config.Config.protocol = Config.Fruitchain in
+    (* The pointer walk only depends on [t.head], which changes inside the
+       loop solely on a block win — cache it and recompute there, instead of
+       re-walking the ancestor chain on every losing query. The record
+       depends only on the round. *)
+    let pointer_now = ref (pointer t) in
+    let record = Common.coalition_record t.ctx ~round in
+    let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
     for _ = 1 to Strategy.q_at t.ctx ~round do
-      let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
       let { Common.fruit; block } =
-        Common.mine_once t.ctx ~round ~parent:t.head ~pointer:(pointer t) ~fruits ~record:(Common.coalition_record t.ctx ~round)
+        Common.mine_once t.ctx ~round ~parent:t.head ~pointer:!pointer_now ~fruits ~record
       in
       (match fruit with
       | Some f when fruitchain ->
@@ -76,6 +82,7 @@ module M : Strategy.S = struct
       match block with
       | Some b ->
           adopt t b.Types.b_hash;
+          pointer_now := pointer t;
           Common.publish t.ctx ~round ~blocks:[ b ] ~head:b.Types.b_hash
       | None -> ()
     done

@@ -177,10 +177,14 @@ module Make (P : PARAMS) : Strategy.S = struct
       on_public_advance t ~round
     end;
     let fruitchain = t.ctx.config.Config.protocol = Config.Fruitchain in
+    (* The pointer (an ancestor walk from the public head) and the record
+       depend only on state fixed before the query loop — hoist them. *)
+    let pointer = pointer t in
+    let record = Common.coalition_record t.ctx ~round in
+    let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
     for _ = 1 to Strategy.q_at t.ctx ~round do
-      let fruits () = if fruitchain then Buffer_f.candidates t.buffer else [] in
       let { Common.fruit; block } =
-        Common.mine_once t.ctx ~round ~parent:t.priv ~pointer:(pointer t) ~fruits ~record:(Common.coalition_record t.ctx ~round)
+        Common.mine_once t.ctx ~round ~parent:t.priv ~pointer ~fruits ~record
       in
       (match fruit with
       | Some f when fruitchain ->

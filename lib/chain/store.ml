@@ -8,86 +8,145 @@ module Hashtbl_h = Hashtbl.Make (struct
   let hash = Hash.hash
 end)
 
-type entry = { block : block; height : int }
-type t = { entries : entry Hashtbl_h.t }
+type id = int
+
+(* Arena representation: blocks live in a growable array, densely numbered
+   by insertion order; parent links and heights are parallel int arrays.
+   Hash→id resolution happens exactly once per block (at insertion and at
+   message boundaries, where protocol messages name blocks by hash); every
+   traversal after that — ancestor walks, common-prefix meets, chain
+   listings — is index arithmetic on the int arrays. Genesis is id 0 and is
+   its own parent, which lets ancestor walks terminate on a height test
+   alone without a reserved sentinel. *)
+type t = {
+  mutable blocks : block array;
+  mutable parents : int array;
+  mutable heights : int array;
+  mutable len : int;
+  ids : id Hashtbl_h.t;
+}
+
+let initial_capacity = 4096
 
 let create () =
-  let entries = Hashtbl_h.create 4096 in
-  Hashtbl_h.replace entries genesis.b_hash { block = genesis; height = 0 };
-  { entries }
+  let ids = Hashtbl_h.create initial_capacity in
+  Hashtbl_h.replace ids genesis.b_hash 0;
+  {
+    blocks = Array.make initial_capacity genesis;
+    parents = Array.make initial_capacity 0;
+    heights = Array.make initial_capacity 0;
+    len = 1;
+    ids;
+  }
 
-let mem t h = Hashtbl_h.mem t.entries h
-let find t h = Option.map (fun e -> e.block) (Hashtbl_h.find_opt t.entries h)
+let genesis_id = 0
+let id_equal = Int.equal
+let find_id t h = Hashtbl_h.find_opt t.ids h
 
-let find_exn t h =
-  match Hashtbl_h.find_opt t.entries h with
-  | Some e -> e.block
-  | None -> raise Not_found
+let id t h =
+  match Hashtbl_h.find_opt t.ids h with Some i -> i | None -> raise Not_found
 
-let height t h =
-  match Hashtbl_h.find_opt t.entries h with
-  | Some e -> e.height
-  | None -> raise Not_found
+let block_at t i = t.blocks.(i)
+let hash_at t i = t.blocks.(i).b_hash
+let height_at t i = t.heights.(i)
+let parent_id t i = t.parents.(i)
 
-let size t = Hashtbl_h.length t.entries
+let mem t h = Hashtbl_h.mem t.ids h
+let find t h = match find_id t h with Some i -> Some t.blocks.(i) | None -> None
+let find_exn t h = t.blocks.(id t h)
+let height t h = t.heights.(id t h)
+let size t = t.len
 
-let add t block =
-  if not (mem t block.b_hash) then begin
-    match Hashtbl_h.find_opt t.entries block.b_header.parent with
-    | None -> invalid_arg "Store.add: parent unknown"
-    | Some parent -> Hashtbl_h.replace t.entries block.b_hash { block; height = parent.height + 1 }
-  end
+let grow t =
+  let cap = Array.length t.blocks in
+  let ncap = 2 * cap in
+  let blocks = Array.make ncap genesis in
+  Array.blit t.blocks 0 blocks 0 t.len;
+  t.blocks <- blocks;
+  let parents = Array.make ncap 0 in
+  Array.blit t.parents 0 parents 0 t.len;
+  t.parents <- parents;
+  let heights = Array.make ncap 0 in
+  Array.blit t.heights 0 heights 0 t.len;
+  t.heights <- heights
+
+let add_id t block =
+  match find_id t block.b_hash with
+  | Some i -> i
+  | None -> (
+      match find_id t block.b_header.parent with
+      | None -> invalid_arg "Store.add: parent unknown"
+      | Some p ->
+          if Int.equal t.len (Array.length t.blocks) then grow t;
+          let i = t.len in
+          t.blocks.(i) <- block;
+          t.parents.(i) <- p;
+          t.heights.(i) <- t.heights.(p) + 1;
+          t.len <- i + 1;
+          Hashtbl_h.replace t.ids block.b_hash i;
+          i)
+
+let add t block = ignore (add_id t block)
 
 let parent t block =
   if Hash.equal block.b_hash genesis.b_hash then None else find t block.b_header.parent
 
-let fold_back t ~head ~init ~f =
-  let rec go acc h =
-    let block = find_exn t h in
-    let acc = f acc block in
-    if Hash.equal h genesis.b_hash then acc else go acc block.b_header.parent
+let fold_back_id t ~head ~init ~f =
+  let rec go acc i =
+    let acc = f acc i in
+    if Int.equal i genesis_id then acc else go acc t.parents.(i)
   in
   go init head
+
+let fold_back t ~head ~init ~f =
+  fold_back_id t ~head:(id t head) ~init ~f:(fun acc i -> f acc t.blocks.(i))
 
 let to_list t ~head = fold_back t ~head ~init:[] ~f:(fun acc b -> b :: acc)
 
 let last_n t ~head n =
-  let rec go acc h remaining =
-    if Int.equal remaining 0 then acc
-    else
-      let block = find_exn t h in
-      let acc = block :: acc in
-      if Hash.equal h genesis.b_hash then acc else go acc block.b_header.parent (remaining - 1)
-  in
-  go [] head n
-
-let ancestor_at_height t ~head ~height:target =
-  if target < 0 then None
+  if n <= 0 then []
   else
-    let rec go h =
-      match Hashtbl_h.find_opt t.entries h with
-      | None -> None
-      | Some e ->
-          if Int.equal e.height target then Some e.block
-          else if e.height < target then None
-          else go e.block.b_header.parent
+    let rec go acc i remaining =
+      let acc = t.blocks.(i) :: acc in
+      if Int.equal i genesis_id || Int.equal remaining 1 then acc
+      else go acc t.parents.(i) (remaining - 1)
     in
-    go head
+    go [] (id t head) n
 
-let common_prefix_height t a b =
-  let rec lift h target =
-    let e = Hashtbl_h.find t.entries h in
-    if e.height <= target then h else lift e.block.b_header.parent target
+let ancestor_id_at_height t ~head ~height:target =
+  if target < 0 || target > t.heights.(head) then None
+  else begin
+    (* Heights decrease by exactly 1 per parent step, so the walk always
+       lands on [target] exactly. *)
+    let i = ref head in
+    while t.heights.(!i) > target do
+      i := t.parents.(!i)
+    done;
+    Some !i
+  end
+
+let ancestor_at_height t ~head ~height =
+  match find_id t head with
+  | None -> None
+  | Some i -> Option.map (block_at t) (ancestor_id_at_height t ~head:i ~height)
+
+let common_prefix_height_id t a b =
+  let lift i target =
+    let i = ref i in
+    while t.heights.(!i) > target do
+      i := t.parents.(!i)
+    done;
+    !i
   in
-  let ha = height t a and hb = height t b in
-  let level = min ha hb in
-  let rec meet x y =
-    if Hash.equal x y then height t x
-    else
-      let ex = Hashtbl_h.find t.entries x and ey = Hashtbl_h.find t.entries y in
-      meet ex.block.b_header.parent ey.block.b_header.parent
-  in
-  meet (lift a level) (lift b level)
+  let level = min t.heights.(a) t.heights.(b) in
+  let x = ref (lift a level) and y = ref (lift b level) in
+  while not (Int.equal !x !y) do
+    x := t.parents.(!x);
+    y := t.parents.(!y)
+  done;
+  t.heights.(!x)
+
+let common_prefix_height t a b = common_prefix_height_id t (id t a) (id t b)
 
 let recent_fruit_hashes t ~head ~window =
   let acc = Hashtbl.create 64 in

@@ -11,6 +11,40 @@ module Hash = Fruitchain_crypto.Hash
 
 type t
 
+type id
+(** Dense arena index of a stored block. Ids are assigned at insertion and
+    never change; protocol messages still name blocks by hash, but once a
+    hash is resolved (once, at a message boundary) every traversal —
+    ancestor walks, common-prefix meets, height reads — is index arithmetic.
+    The representation is deliberately abstract: an id is only meaningful
+    against the store that issued it. *)
+
+val genesis_id : id
+(** The id of {!Types.genesis} in every store. *)
+
+val id_equal : id -> id -> bool
+
+val id : t -> Hash.t -> id
+(** Raises [Not_found] for unknown hashes. *)
+
+val find_id : t -> Hash.t -> id option
+
+val block_at : t -> id -> block
+val hash_at : t -> id -> Hash.t
+val height_at : t -> id -> int
+
+val parent_id : t -> id -> id
+(** Genesis is its own parent, so ancestor walks can terminate on a height
+    test alone. *)
+
+val ancestor_id_at_height : t -> head:id -> height:int -> id option
+(** [None] iff [height] is negative or above the head's height. *)
+
+val common_prefix_height_id : t -> id -> id -> int
+
+val fold_back_id : t -> head:id -> init:'acc -> f:('acc -> id -> 'acc) -> 'acc
+(** Folds ids from [head] down to genesis (inclusive). *)
+
 val create : unit -> t
 (** A store containing only {!Types.genesis}. *)
 
@@ -19,6 +53,9 @@ val add : t -> block -> unit
     [Invalid_argument] otherwise (the network layer guarantees parents are
     delivered first, and tests exercise the failure). Re-inserting an
     existing hash is a no-op. *)
+
+val add_id : t -> block -> id
+(** [add] returning the inserted (or already-present) block's id. *)
 
 val mem : t -> Hash.t -> bool
 val find : t -> Hash.t -> block option
@@ -38,7 +75,7 @@ val to_list : t -> head:Hash.t -> block list
 val last_n : t -> head:Hash.t -> int -> block list
 (** The at-most-[n] trailing blocks of the chain ending at [head], oldest
     first. [last_n t ~head n] with [n] ≥ chain length returns the full
-    chain. *)
+    chain; [n] ≤ 0 returns [[]]. *)
 
 val fold_back : t -> head:Hash.t -> init:'acc -> f:('acc -> block -> 'acc) -> 'acc
 (** Folds from [head] down to genesis. *)

@@ -38,6 +38,11 @@ val set_gossip : t -> bool -> unit
     takes effect from the node's next {!step}. *)
 
 val head : t -> Types.Hash.t
+
+val head_id : t -> Fruitchain_chain.Store.id
+(** The head as an arena id — the engine's head watcher compares and walks
+    heads by id, never re-resolving hashes. *)
+
 val height : t -> int
 val chain : t -> Types.block list
 val buffer_size : t -> int

@@ -8,60 +8,191 @@ type t = {
   backend : backend;
   p : float;
   pf : float;
+  (* Difficulty limits, resolved once at creation: [Hash.threshold] is a
+     pure function of the hardness, and recomputing it per query/check was
+     measurable on the hot path. *)
+  block_limit : int64;
+  fruit_limit : int64;
   mutable queries : int;
   (* Win counters are native ints (not Obs instruments): [query] is the
      hottest call in the simulator, so the observability layer harvests
      these once per run instead of paying an instrument update per query. *)
   mutable block_wins : int;
   mutable fruit_wins : int;
+  (* State of the most recent attempt, so that {!attempt} can defer digest
+     materialization: ~99% of mining attempts lose on both difficulties and
+     their digest is never looked at. The sampling backend keeps the raw
+     64-bit draws as native (hi, lo) halves plus the Bernoulli outcomes —
+     immediate-int stores, no boxing on the miss path; the view arithmetic
+     (folding a raw draw into the win or lose range) runs only when the
+     digest is materialized. [last_hash] caches the materialized digest;
+     [last_hash_valid] says whether it is current. *)
+  mutable last_bwin : bool;
+  mutable last_fwin : bool;
+  mutable last_braw_hi : int;
+  mutable last_braw_lo : int;
+  mutable last_fraw_hi : int;
+  mutable last_fraw_lo : int;
+  mutable last_f1_hi : int;
+  mutable last_f1_lo : int;
+  mutable last_f2_hi : int;
+  mutable last_f2_lo : int;
+  mutable last_hash : Hash.t;
+  mutable last_hash_valid : bool;
 }
 
-let real ~p ~pf = { backend = Real; p; pf; queries = 0; block_wins = 0; fruit_wins = 0 }
+let make backend ~p ~pf =
+  {
+    backend;
+    p;
+    pf;
+    block_limit = Hash.threshold p;
+    fruit_limit = Hash.threshold pf;
+    queries = 0;
+    block_wins = 0;
+    fruit_wins = 0;
+    last_bwin = false;
+    last_fwin = false;
+    last_braw_hi = 0;
+    last_braw_lo = 0;
+    last_fraw_hi = 0;
+    last_fraw_lo = 0;
+    last_f1_hi = 0;
+    last_f1_lo = 0;
+    last_f2_hi = 0;
+    last_f2_lo = 0;
+    last_hash = Hash.zero;
+    last_hash_valid = false;
+  }
+
+let real ~p ~pf = make Real ~p ~pf
 
 let sim ?(memo = false) ~p ~pf rng =
   let memo = if memo then Some (Hashtbl.create 1024) else None in
-  { backend = Sim { rng; memo }; p; pf; queries = 0; block_wins = 0; fruit_wins = 0 }
+  make (Sim { rng; memo }) ~p ~pf
 
-(* Sample a 64-bit view that is below [threshold p] with probability exactly
-   p: draw the success Bernoulli first, then a uniform value within the
-   success or failure range. *)
-let sample_view rng p =
-  let limit = Hash.threshold p in
-  let success = Rng.bernoulli rng p in
+let int64_of_split hi lo =
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+(* Fold a raw 64-bit draw into a view that is below [limit] exactly when
+   [success] — the deferred half of the historical [sample_view], which drew
+   the Bernoulli and then a uniform value within the success or failure
+   range. The draw itself happened at attempt time (the RNG sequence is the
+   determinism contract); only this arithmetic is deferred, because on the
+   ~99% of attempts that lose, nobody ever looks at the view. *)
+let view_of_raw ~limit ~success hi lo =
+  let r63 = Int64.shift_right_logical (int64_of_split hi lo) 1 in
   if success then
-    if Int64.equal limit 0L then 0L (* p rounded to 0 yet success sampled: impossible *)
+    if Int64.equal limit 0L then 0L (* p rounded to 0 yet success sampled: no draw taken *)
     else if Int64.compare limit 0L < 0 then
-      (* Success range of at least 2^63 values (p >= 1/2): a 63-bit draw
+      (* Success range of at least 2^63 values (p >= 1/2): the 63-bit value
          stays inside it. *)
-      Int64.shift_right_logical (Rng.bits64 rng) 1
-    else Rng.int64_range rng limit
+      r63
+    else Int64.rem r63 limit
   else begin
     (* Uniform in [limit, 2^64). The failure range has size 2^64 - limit.
        When that size fits in the signed 63-bit range we sample it exactly;
-       otherwise (small p, huge failure range) we draw a 63-bit offset, which
-       stays inside the range and keeps ample collision entropy. *)
+       otherwise (small p, huge failure range) the 63-bit offset stays inside
+       the range and keeps ample collision entropy. *)
     let range = Int64.sub 0L limit (* 2^64 - limit, as an unsigned bit pattern *) in
-    if Int64.compare range 0L > 0 then Int64.add limit (Rng.int64_range rng range)
-    else Int64.add limit (Int64.shift_right_logical (Rng.bits64 rng) 1)
+    if Int64.compare range 0L > 0 then Int64.add limit (Int64.rem r63 range)
+    else Int64.add limit r63
   end
 
-let count_wins t h =
-  if Hash.meets_block_difficulty h ~p:t.p then t.block_wins <- t.block_wins + 1;
-  if Hash.meets_fruit_difficulty h ~pf:t.pf then t.fruit_wins <- t.fruit_wins + 1;
-  h
+let attempt_hash t =
+  if t.last_hash_valid then t.last_hash
+  else begin
+    let bv =
+      view_of_raw ~limit:t.block_limit ~success:t.last_bwin t.last_braw_hi t.last_braw_lo
+    in
+    let fv =
+      view_of_raw ~limit:t.fruit_limit ~success:t.last_fwin t.last_fraw_hi t.last_fraw_lo
+    in
+    let f1 = int64_of_split t.last_f1_hi t.last_f1_lo in
+    let f2 = int64_of_split t.last_f2_hi t.last_f2_lo in
+    let h = Hash.of_views ~block_view:bv ~fruit_view:fv ~filler:(f1, f2) in
+    t.last_hash <- h;
+    t.last_hash_valid <- true;
+    h
+  end
 
-let query t input =
+let fruit_flag = 1
+let block_flag = 2
+let attempt_won_fruit mask = not (Int.equal (mask land fruit_flag) 0)
+let attempt_won_block mask = not (Int.equal (mask land block_flag) 0)
+
+let attempt t input =
   t.queries <- t.queries + 1;
   match t.backend with
-  | Real -> count_wins t (Hash.of_raw (Sha256.digest input))
+  | Real ->
+      let h = Hash.of_raw (Sha256.digest input) in
+      t.last_hash <- h;
+      t.last_hash_valid <- true;
+      let mask = ref 0 in
+      if Int64.unsigned_compare (Hash.prefix64 h) t.block_limit < 0 then begin
+        t.block_wins <- t.block_wins + 1;
+        mask := !mask lor block_flag
+      end;
+      if Int64.unsigned_compare (Hash.suffix64 h) t.fruit_limit < 0 then begin
+        t.fruit_wins <- t.fruit_wins + 1;
+        mask := !mask lor fruit_flag
+      end;
+      !mask
   | Sim { rng; memo } ->
-      let block_view = sample_view rng t.p in
-      let fruit_view = sample_view rng t.pf in
-      let h =
-        Hash.of_views ~block_view ~fruit_view ~filler:(Rng.bits64 rng, Rng.bits64 rng)
-      in
-      (match memo with Some tbl -> Hashtbl.replace tbl input h | None -> ());
-      count_wins t h
+      (* Draw order is load-bearing: it reproduces draw-for-draw the RNG
+         consumption of the historical per-query implementation — block
+         Bernoulli, block view, fruit Bernoulli, fruit view, then the filler
+         words right-to-left (the original filler tuple was evaluated
+         right-to-left). The differential suite pins this against a
+         reference copy of that implementation. A success against a zero
+         limit took no view draw historically, so none is taken here. *)
+      let bwin = Rng.bernoulli rng t.p in
+      (if bwin && Int64.equal t.block_limit 0L then begin
+         t.last_braw_hi <- 0;
+         t.last_braw_lo <- 0
+       end
+       else begin
+         Rng.draw rng;
+         t.last_braw_hi <- Rng.out_hi rng;
+         t.last_braw_lo <- Rng.out_lo rng
+       end);
+      let fwin = Rng.bernoulli rng t.pf in
+      (if fwin && Int64.equal t.fruit_limit 0L then begin
+         t.last_fraw_hi <- 0;
+         t.last_fraw_lo <- 0
+       end
+       else begin
+         Rng.draw rng;
+         t.last_fraw_hi <- Rng.out_hi rng;
+         t.last_fraw_lo <- Rng.out_lo rng
+       end);
+      Rng.draw rng;
+      t.last_f2_hi <- Rng.out_hi rng;
+      t.last_f2_lo <- Rng.out_lo rng;
+      Rng.draw rng;
+      t.last_f1_hi <- Rng.out_hi rng;
+      t.last_f1_lo <- Rng.out_lo rng;
+      t.last_bwin <- bwin;
+      t.last_fwin <- fwin;
+      t.last_hash_valid <- false;
+      (match memo with Some tbl -> Hashtbl.replace tbl input (attempt_hash t) | None -> ());
+      (* A sampled success lands below the limit by construction — except
+         against a zero limit, where the view is 0 and the threshold check
+         it stands in for would fail; mirror that. *)
+      let mask = ref 0 in
+      if bwin && not (Int64.equal t.block_limit 0L) then begin
+        t.block_wins <- t.block_wins + 1;
+        mask := !mask lor block_flag
+      end;
+      if fwin && not (Int64.equal t.fruit_limit 0L) then begin
+        t.fruit_wins <- t.fruit_wins + 1;
+        mask := !mask lor fruit_flag
+      end;
+      !mask
+
+let query t input =
+  let _mask = attempt t input in
+  attempt_hash t
 
 let verify t input claimed =
   match t.backend with
@@ -72,12 +203,17 @@ let verify t input claimed =
       | None -> false)
   | Sim { memo = None; _ } -> true
 
+(* When the backend is a memo-less simulation, {!query}/{!attempt} ignore
+   their input entirely, so callers may skip building the pre-image. *)
+let needs_input t =
+  match t.backend with Real | Sim { memo = Some _; _ } -> true | Sim { memo = None; _ } -> false
+
 let queries t = t.queries
 let reset_queries t = t.queries <- 0
 let block_wins t = t.block_wins
 let fruit_wins t = t.fruit_wins
 let p t = t.p
 let pf t = t.pf
-let mined_block t h = Hash.meets_block_difficulty h ~p:t.p
-let mined_fruit t h = Hash.meets_fruit_difficulty h ~pf:t.pf
+let mined_block t h = Int64.unsigned_compare (Hash.prefix64 h) t.block_limit < 0
+let mined_fruit t h = Int64.unsigned_compare (Hash.suffix64 h) t.fruit_limit < 0
 let is_sim t = match t.backend with Real -> false | Sim _ -> true

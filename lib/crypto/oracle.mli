@@ -37,6 +37,34 @@ val sim : ?memo:bool -> p:float -> pf:float -> Fruitchain_util.Rng.t -> t
 val query : t -> string -> Hash.t
 (** One proof-of-work attempt on the given serialized header. Counted. *)
 
+(** {1 Allocation-free attempts}
+
+    [query] materializes a 32-byte digest per attempt, but ~99% of mining
+    attempts lose on both difficulties and never look at it. {!attempt}
+    performs exactly the same draw (same counters, same randomness, and —
+    for any attempt whose digest {e is} materialized — the same digest) but
+    returns only the win mask; {!attempt_hash} reconstructs the digest of
+    the most recent attempt on demand. The differential suite checks
+    attempt-then-materialize against the historical per-query path. *)
+
+val attempt : t -> string -> int
+(** One counted proof-of-work attempt; returns a win mask to be read with
+    {!attempt_won_block} / {!attempt_won_fruit}. Equivalent to {!query}
+    except that the digest is not materialized until {!attempt_hash}. *)
+
+val attempt_won_block : int -> bool
+val attempt_won_fruit : int -> bool
+
+val attempt_hash : t -> Hash.t
+(** The digest of the most recent {!attempt} (or {!query}) on this oracle.
+    Must not be called before the first attempt. *)
+
+val needs_input : t -> bool
+(** Whether the oracle reads its pre-image at all: [true] for the real
+    backend and for memoized simulation, [false] for plain simulation —
+    in which case callers may pass [""] and skip serializing the header
+    they are mining on. *)
+
 val verify : t -> string -> Hash.t -> bool
 (** [H.ver]: does this input evaluate to this digest? Not counted. *)
 

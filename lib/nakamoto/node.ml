@@ -1,17 +1,17 @@
 open Fruitchain_chain
 module Oracle = Fruitchain_crypto.Oracle
-module Hash = Fruitchain_crypto.Hash
 module Merkle = Fruitchain_crypto.Merkle
 module Rng = Fruitchain_util.Rng
 module Message = Fruitchain_net.Message
 
-type t = { id : int; store : Store.t; rng : Rng.t; mutable head : Hash.t }
+type t = { id : int; store : Store.t; rng : Rng.t; mutable head_id : Store.id }
 
-let create ~id ~store ~rng = { id; store; rng; head = Types.genesis.b_hash }
+let create ~id ~store ~rng = { id; store; rng; head_id = Store.genesis_id }
 let id t = t.id
-let head t = t.head
-let height t = Store.height t.store t.head
-let chain t = Store.to_list t.store ~head:t.head
+let head_id t = t.head_id
+let head t = Store.hash_at t.store t.head_id
+let height t = Store.height_at t.store t.head_id
+let chain t = Store.to_list t.store ~head:(head t)
 
 let ledger t =
   List.filter_map
@@ -40,24 +40,39 @@ let receive t oracle (msg : Message.t) =
             end
       in
       let all_inserted = insert blocks in
-      if all_inserted && Store.mem t.store head then begin
-        let current = Store.height t.store t.head in
-        if Store.height t.store head > current then t.head <- head
-      end
+      if all_inserted then
+        match Store.find_id t.store head with
+        | Some hid when Store.height_at t.store hid > Store.height_at t.store t.head_id ->
+            t.head_id <- hid
+        | _ -> ()
 
 let mine t oracle ~round ~record ~honest =
-  let parent = t.head in
-  let header =
-    {
-      Types.parent;
-      pointer = parent;
-      nonce = Rng.bits64 t.rng;
-      digest = Merkle.empty_root;
-      record;
-    }
+  (* A memo-less simulated oracle ignores its pre-image, so the header and
+     its serialization — the dominant cost of a losing attempt — are built
+     only when the attempt wins; even boxing the nonce waits for the win
+     (the attempt draws from the oracle's own generator, so the scratch
+     slots of [t.rng] survive it). *)
+  let mask =
+    if Oracle.needs_input oracle then begin
+      let parent = head t in
+      let nonce = Rng.bits64 t.rng in
+      let header =
+        { Types.parent; pointer = parent; nonce; digest = Merkle.empty_root; record }
+      in
+      Oracle.attempt oracle (Codec.header_bytes header)
+    end
+    else begin
+      Rng.draw t.rng;
+      Oracle.attempt oracle ""
+    end
   in
-  let hash = Oracle.query oracle (Codec.header_bytes header) in
-  if Oracle.mined_block oracle hash then begin
+  if Oracle.attempt_won_block mask then begin
+    let parent = head t in
+    let nonce = Rng.last_bits64 t.rng in
+    let header =
+      { Types.parent; pointer = parent; nonce; digest = Merkle.empty_root; record }
+    in
+    let hash = Oracle.attempt_hash oracle in
     let block =
       {
         Types.b_header = header;
@@ -66,8 +81,7 @@ let mine t oracle ~round ~record ~honest =
         b_prov = Some { Types.miner = t.id; round; honest };
       }
     in
-    Store.add t.store block;
-    t.head <- hash;
+    t.head_id <- Store.add_id t.store block;
     Some block
   end
   else None

@@ -21,6 +21,10 @@ val create : id:int -> store:Store.t -> rng:Rng.t -> t
 
 val id : t -> int
 val head : t -> Types.Hash.t
+
+val head_id : t -> Fruitchain_chain.Store.id
+(** The head as an arena id (see {!Fruitchain_chain.Store.id}). *)
+
 val height : t -> int
 (** Height of the node's chain tip (genesis = 0). *)
 

@@ -23,10 +23,10 @@ let of_edge_set n edges =
       adj.(a) <- b :: adj.(a);
       adj.(b) <- a :: adj.(b))
     edges;
-  { adj = Array.map (List.sort_uniq compare) adj }
+  { adj = Array.map (List.sort_uniq Int.compare) adj }
 
 let add_edge edges a b =
-  if a <> b then begin
+  if not (Int.equal a b) then begin
     let key = if a < b then (a, b) else (b, a) in
     Hashtbl.replace edges key ()
   end

@@ -36,20 +36,28 @@ let uncorrupted_at t i =
     None t.uncorruption_schedule
 
 let is_corrupt_at t ~round i =
-  match corrupted_at t i with
-  | None -> false
-  | Some r ->
-      round >= r
-      && (match uncorrupted_at t i with None -> true | Some u -> round < u)
+  (* Static-only corruption (the common case) short-circuits the schedule
+     scans; this predicate runs per honest recipient per adversarial send. *)
+  match (t.corruption_schedule, t.uncorruption_schedule) with
+  | [], [] -> is_corrupt t i
+  | _ -> (
+      match corrupted_at t i with
+      | None -> false
+      | Some r ->
+          round >= r
+          && (match uncorrupted_at t i with None -> true | Some u -> round < u))
 
 let is_ever_corrupt t i = corrupted_at t i <> None
 
 let corrupt_count_at t ~round =
-  let count = ref 0 in
-  for i = 0 to t.n - 1 do
-    if is_corrupt_at t ~round i then incr count
-  done;
-  !count
+  match (t.corruption_schedule, t.uncorruption_schedule) with
+  | [], [] -> corrupt_count t
+  | _ ->
+      let count = ref 0 in
+      for i = 0 to t.n - 1 do
+        if is_corrupt_at t ~round i then incr count
+      done;
+      !count
 
 let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds = 50_000)
     ?(seed = 1L) ?(corruption_schedule = []) ?(uncorruption_schedule = [])

@@ -1,7 +1,6 @@
 open Fruitchain_chain
 module Rng = Fruitchain_util.Rng
 module Pool = Fruitchain_util.Pool
-module Hash = Fruitchain_crypto.Hash
 module Oracle = Fruitchain_crypto.Oracle
 module Network = Fruitchain_net.Network
 module Message = Fruitchain_net.Message
@@ -17,9 +16,13 @@ type workload = Strategy.workload
 
 type party = Nak of Nak_node.t | Fruit of Fruit_node.t | Corrupt
 
+(* Heads are threaded as arena ids: the per-round watchers compare, walk,
+   and measure heads without ever re-resolving a hash. Hashes are
+   materialized only where they become externally visible (trace head
+   snapshots). *)
 let head_of = function
-  | Nak node -> Some (Nak_node.head node)
-  | Fruit node -> Some (Fruit_node.head node)
+  | Nak node -> Some (Nak_node.head_id node)
+  | Fruit node -> Some (Fruit_node.head_id node)
   | Corrupt -> None
 
 let events_of_messages ~round ~miner msgs =
@@ -55,16 +58,16 @@ let watch_heads ~scope ~store ~round ~parties ~prev_head ~prev_height =
       match head_of p with
       | None -> ()
       | Some h ->
-          if not (Hash.equal h prev_head.(i)) then begin
-            let height = Store.height store h in
+          if not (Store.id_equal h prev_head.(i)) then begin
+            let height = Store.height_at store h in
             let extends =
-              match Store.ancestor_at_height store ~head:h ~height:prev_height.(i) with
-              | Some b -> Hash.equal b.Types.b_hash prev_head.(i)
+              match Store.ancestor_id_at_height store ~head:h ~height:prev_height.(i) with
+              | Some a -> Store.id_equal a prev_head.(i)
               | None -> false
             in
             if extends then Scope.incr scope "sim.head_extends"
             else begin
-              let fork = Store.common_prefix_height store h prev_head.(i) in
+              let fork = Store.common_prefix_height_id store h prev_head.(i) in
               let depth = prev_height.(i) - fork in
               Scope.incr scope "sim.head_switches";
               (match Scope.metrics scope with
@@ -164,7 +167,7 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
         ("seed", Json.Str (Int64.to_string config.Config.seed));
       ];
   let observing = Scope.enabled scope in
-  let prev_head = Array.make config.Config.n Types.genesis.Types.b_hash in
+  let prev_head = Array.make config.Config.n Store.genesis_id in
   let prev_height = Array.make config.Config.n 0 in
   (* Liveness probes model a submitted transaction: from its injection round
      until the next probe replaces it, every honest party keeps offering the
@@ -262,7 +265,7 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
       let heights =
         Array.map
           (fun p ->
-            match head_of p with Some h -> Store.height store h | None -> -1)
+            match head_of p with Some h -> Store.height_at store h | None -> -1)
           parties
       in
       Trace.record_heights trace ~round heights;
@@ -294,7 +297,10 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
     if round mod config.Config.head_snapshot_interval = 0 then begin
       let heads =
         Array.map
-          (fun p -> match head_of p with Some h -> h | None -> Types.genesis.b_hash)
+          (fun p ->
+            match head_of p with
+            | Some h -> Store.hash_at store h
+            | None -> Types.genesis.b_hash)
           parties
       in
       Trace.record_heads trace ~round heads
@@ -302,7 +308,10 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
   done;
   let final_heads =
     Array.map
-      (fun p -> match head_of p with Some h -> h | None -> Types.genesis.b_hash)
+      (fun p ->
+        match head_of p with
+        | Some h -> Store.hash_at store h
+        | None -> Types.genesis.b_hash)
       parties
   in
   Trace.set_final_heads trace final_heads;

@@ -42,6 +42,22 @@ val copy : t -> t
 val bits64 : t -> int64
 (** Uniform 64 random bits. *)
 
+val draw : t -> unit
+(** Advance the generator by one draw — the same state step as {!bits64} —
+    leaving the drawn 64 bits readable through {!out_hi}/{!out_lo}/
+    {!last_bits64} until the next draw. The hot-path entry point: it
+    allocates nothing, where {!bits64} boxes its result. *)
+
+val out_hi : t -> int
+(** High 32 bits of the most recent draw, as a native int. *)
+
+val out_lo : t -> int
+(** Low 32 bits of the most recent draw, as a native int. *)
+
+val last_bits64 : t -> int64
+(** The most recent draw as a boxed [int64] ([bits64 g] is
+    [draw g; last_bits64 g]). *)
+
 val float : t -> float
 (** Uniform in [\[0, 1)]. Uses the top 53 bits. *)
 

@@ -1,0 +1,6 @@
+(* R2 positive fixture: polymorphic compare in lib/net (envelope ordering). *)
+let a x y = x = y
+let b x y = x <> y
+let c x y = compare x y
+let d x y = x == y
+let e x y = Stdlib.compare x y

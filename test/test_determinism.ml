@@ -118,6 +118,84 @@ let test_scenario_repeat_stability () =
   let second = observe_scenario ~jobs:4 s in
   Alcotest.(check bool) "two jobs=4 scenario runs are identical" true (first = second)
 
+(* --- Hot-path soak ----------------------------------------------------
+
+   The arena store / deferred oracle / ring network rewrites must hold the
+   determinism contract well past the quick-scale horizon: a 10^5-round
+   E01-shaped sweep (Nakamoto, selfish + honest-coalition units) must
+   render and observe byte-identically at --jobs 1 and --jobs 4. Shares
+   are printed at full float precision, which is stricter than the
+   2-decimal experiment table. *)
+
+module Runs = Fruitchain_experiments.Runs
+module Sim_config = Fruitchain_sim.Config
+module Sim_trace = Fruitchain_sim.Trace
+module Quality = Fruitchain_metrics.Quality
+
+let soak_rounds = 100_000
+
+let soak_observe ~jobs =
+  Pool.set_default_jobs jobs;
+  let registry = Metrics.create () in
+  let tracer = Tracer.buffer () in
+  Pool.set_scope (Scope.make ~metrics:registry ~tracer ());
+  let params = Exp.default_params () in
+  let specs = [ (0.25, None); (0.25, Some 0.5); (0.45, None); (0.45, Some 0.5) ] in
+  let units =
+    List.map
+      (fun (rho, gamma) ~seed ->
+        let strategy =
+          match gamma with
+          | None -> Runs.honest_coalition
+          | Some gamma -> Runs.selfish ~gamma
+        in
+        let config =
+          Runs.config ~protocol:Sim_config.Nakamoto ~rho ~rounds:soak_rounds ~params ~seed ()
+        in
+        Quality.adversarial_fraction
+          (Quality.block_shares (Sim_trace.honest_final_chain (Runs.run config ~strategy ()))))
+      specs
+  in
+  let shares =
+    Fun.protect
+      ~finally:(fun () -> Pool.set_scope Scope.null)
+      (fun () -> Runs.run_parallel ~master:1L units)
+  in
+  let table = String.concat "\n" (List.map (Printf.sprintf "%.17g") shares) in
+  (table, Metrics.dump registry)
+
+let test_soak_jobs_invariance () =
+  let seq_table, seq_metrics = soak_observe ~jobs:1 in
+  let par_table, par_metrics = soak_observe ~jobs:4 in
+  Alcotest.(check string) "soak shares at --jobs 1 and --jobs 4" seq_table par_table;
+  Alcotest.(check string) "soak metric dumps at --jobs 1 and --jobs 4" seq_metrics par_metrics
+
+(* Allocation regression tripwire for the round loop. The rewrites hold
+   steady-state allocation to ~4.2 KB/round (Nakamoto) and ~11.1 KB/round
+   (FruitChain) at quick-scale parameters — dominated by message delivery
+   and trace events, with mining queries allocation-free on the miss path.
+   Runs are seeded and sequential, so the measurement is deterministic;
+   the 1.5x headroom covers code drift, not noise. Reintroducing per-query
+   boxing (the pre-rewrite oracle allocated ~200 B per query per party)
+   blows these bounds. *)
+let alloc_per_round protocol =
+  Pool.set_default_jobs 1;
+  let params = Exp.default_params () in
+  let config = Runs.config ~protocol ~rho:0.25 ~rounds:20_000 ~params ~seed:7L () in
+  let before = Gc.allocated_bytes () in
+  ignore (Runs.run config ~strategy:Runs.honest_coalition ());
+  (Gc.allocated_bytes () -. before) /. 20_000.
+
+let test_round_loop_allocation () =
+  let nakamoto = alloc_per_round Sim_config.Nakamoto in
+  Alcotest.(check bool)
+    (Printf.sprintf "nakamoto round loop: %.0f B/round (bound 6300)" nakamoto)
+    true (nakamoto < 6300.);
+  let fruitchain = alloc_per_round Sim_config.Fruitchain in
+  Alcotest.(check bool)
+    (Printf.sprintf "fruitchain round loop: %.0f B/round (bound 16600)" fruitchain)
+    true (fruitchain < 16600.)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -148,5 +226,10 @@ let () =
             test_scenario_jobs_invariance;
           Alcotest.test_case "partition_small repeat stability" `Slow
             test_scenario_repeat_stability;
+        ] );
+      ( "hot-path soak (PR 5)",
+        [
+          Alcotest.test_case "100k-round sweep jobs 1 == 4" `Slow test_soak_jobs_invariance;
+          Alcotest.test_case "round-loop allocation bound" `Slow test_round_loop_allocation;
         ] );
     ]

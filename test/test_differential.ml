@@ -1,0 +1,502 @@
+(* Differential tests for the hot-path rewrites: the arena Store, the
+   deferred-sampling Oracle and the ring-buffer Network are each checked
+   against a test-local reference copy of the naive implementation it
+   replaced (hash-table store, per-query view sampling, hashtable-of-lists
+   inboxes with a full sort per drain). The reference modules are the
+   pre-rewrite code kept verbatim modulo observability plumbing; QCheck
+   drives both sides with identical inputs — including the same RNG seeds,
+   so the draw-for-draw equivalence of the batched oracle is pinned, not
+   just distributional agreement. *)
+
+module Types = Fruitchain_chain.Types
+module Store = Fruitchain_chain.Store
+module Hash = Fruitchain_crypto.Hash
+module Oracle = Fruitchain_crypto.Oracle
+module Sha256 = Fruitchain_crypto.Sha256
+module Merkle = Fruitchain_crypto.Merkle
+module Rng = Fruitchain_util.Rng
+module Message = Fruitchain_net.Message
+module Network = Fruitchain_net.Network
+
+(* ------------------------------------------------------------------ *)
+(* Reference store: the pre-arena hash-table representation.           *)
+
+module Ref_store = struct
+  module Hashtbl_h = Hashtbl.Make (struct
+    type t = Hash.t
+
+    let equal = Hash.equal
+    let hash = Hash.hash
+  end)
+
+  type entry = { block : Types.block; height : int }
+  type t = { entries : entry Hashtbl_h.t }
+
+  let create () =
+    let entries = Hashtbl_h.create 4096 in
+    Hashtbl_h.replace entries Types.genesis.b_hash { block = Types.genesis; height = 0 };
+    { entries }
+
+  let mem t h = Hashtbl_h.mem t.entries h
+  let find t h = Option.map (fun e -> e.block) (Hashtbl_h.find_opt t.entries h)
+
+  let find_exn t h =
+    match Hashtbl_h.find_opt t.entries h with Some e -> e.block | None -> raise Not_found
+
+  let height t h =
+    match Hashtbl_h.find_opt t.entries h with Some e -> e.height | None -> raise Not_found
+
+  let size t = Hashtbl_h.length t.entries
+
+  let add t (block : Types.block) =
+    if not (mem t block.b_hash) then begin
+      match Hashtbl_h.find_opt t.entries block.b_header.parent with
+      | None -> invalid_arg "Ref_store.add: parent unknown"
+      | Some parent ->
+          Hashtbl_h.replace t.entries block.b_hash { block; height = parent.height + 1 }
+    end
+
+  let fold_back t ~head ~init ~f =
+    let rec go acc h =
+      let block = find_exn t h in
+      let acc = f acc block in
+      if Hash.equal h Types.genesis.b_hash then acc else go acc block.Types.b_header.parent
+    in
+    go init head
+
+  let to_list t ~head = fold_back t ~head ~init:[] ~f:(fun acc b -> b :: acc)
+
+  let last_n t ~head n =
+    let rec go acc h remaining =
+      if Int.equal remaining 0 then acc
+      else
+        let block = find_exn t h in
+        let acc = block :: acc in
+        if Hash.equal h Types.genesis.b_hash then acc
+        else go acc block.Types.b_header.parent (remaining - 1)
+    in
+    go [] head n
+
+  let ancestor_at_height t ~head ~height:target =
+    if target < 0 then None
+    else
+      let rec go h =
+        match Hashtbl_h.find_opt t.entries h with
+        | None -> None
+        | Some e ->
+            if Int.equal e.height target then Some e.block
+            else if e.height < target then None
+            else go e.block.Types.b_header.parent
+      in
+      go head
+
+  let common_prefix_height t a b =
+    let rec lift h target =
+      let e = Hashtbl_h.find t.entries h in
+      if e.height <= target then h else lift e.block.Types.b_header.parent target
+    in
+    let ha = height t a and hb = height t b in
+    let level = min ha hb in
+    let rec meet x y =
+      if Hash.equal x y then height t x
+      else
+        let ex = Hashtbl_h.find t.entries x and ey = Hashtbl_h.find t.entries y in
+        meet ex.block.Types.b_header.parent ey.block.Types.b_header.parent
+    in
+    meet (lift a level) (lift b level)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference oracle: per-query view sampling (sampling backend only).  *)
+
+module Ref_oracle = struct
+  type t = {
+    rng : Rng.t;
+    p : float;
+    pf : float;
+    mutable block_wins : int;
+    mutable fruit_wins : int;
+  }
+
+  let sim ~p ~pf rng = { rng; p; pf; block_wins = 0; fruit_wins = 0 }
+
+  (* Sample a 64-bit view that is below [threshold p] with probability
+     exactly p: draw the success Bernoulli first, then a uniform value
+     within the success or failure range. *)
+  let sample_view rng p =
+    let limit = Hash.threshold p in
+    let success = Rng.bernoulli rng p in
+    if success then
+      if Int64.equal limit 0L then 0L
+      else if Int64.compare limit 0L < 0 then Int64.shift_right_logical (Rng.bits64 rng) 1
+      else Rng.int64_range rng limit
+    else begin
+      let range = Int64.sub 0L limit in
+      if Int64.compare range 0L > 0 then Int64.add limit (Rng.int64_range rng range)
+      else Int64.add limit (Int64.shift_right_logical (Rng.bits64 rng) 1)
+    end
+
+  let query t =
+    let block_view = sample_view t.rng t.p in
+    let fruit_view = sample_view t.rng t.pf in
+    (* The tuple is evaluated right-to-left, as in the historical code:
+       the second filler word is drawn before the first. *)
+    let h =
+      Hash.of_views ~block_view ~fruit_view ~filler:(Rng.bits64 t.rng, Rng.bits64 t.rng)
+    in
+    if Hash.meets_block_difficulty h ~p:t.p then t.block_wins <- t.block_wins + 1;
+    if Hash.meets_fruit_difficulty h ~pf:t.pf then t.fruit_wins <- t.fruit_wins + 1;
+    h
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference network: per-round hashtable inboxes, full sort per drain. *)
+
+module Ref_network = struct
+  type envelope = { seq : int; message : Message.t }
+
+  type t = {
+    n : int;
+    delta : int;
+    policy : (now:int -> sender:int -> recipient:int -> round:int -> int) option;
+    inboxes : (int, envelope list) Hashtbl.t array;
+    mutable seq : int;
+    mutable pending : int;
+    mutable sent : int;
+    mutable delivered : int;
+  }
+
+  let create ?policy ~n ~delta () =
+    {
+      n;
+      delta;
+      policy;
+      inboxes = Array.init n (fun _ -> Hashtbl.create 64);
+      seq = 0;
+      pending = 0;
+      sent = 0;
+      delivered = 0;
+    }
+
+  let resolve_round t ~now ~rng = function
+    | Network.At r -> max (now + 1) (min r (now + t.delta))
+    | Network.Uniform_in_window -> now + 1 + Rng.int rng t.delta
+    | Network.Next_round -> now + 1
+    | Network.Max_delay -> now + t.delta
+
+  let enqueue t ~recipient ~round message =
+    let inbox = t.inboxes.(recipient) in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt inbox round) in
+    Hashtbl.replace inbox round ({ seq = t.seq; message } :: existing);
+    t.seq <- t.seq + 1;
+    t.pending <- t.pending + 1
+
+  let send_to t ~now ~recipient ~schedule ~rng message =
+    let round = resolve_round t ~now ~rng schedule in
+    let round =
+      match t.policy with
+      | None -> round
+      | Some p -> max (now + 1) (p ~now ~sender:message.Message.sender ~recipient ~round)
+    in
+    t.sent <- t.sent + 1;
+    enqueue t ~recipient ~round message
+
+  let drain t ~round ~recipient =
+    let inbox = t.inboxes.(recipient) in
+    match Hashtbl.find_opt inbox round with
+    | None -> []
+    | Some envelopes ->
+        Hashtbl.remove inbox round;
+        let k = List.length envelopes in
+        t.pending <- t.pending - k;
+        t.delivered <- t.delivered + k;
+        let sorted =
+          List.sort
+            (fun a b ->
+              match compare a.message.Message.priority b.message.Message.priority with
+              | 0 -> compare a.seq b.seq
+              | c -> c)
+            envelopes
+        in
+        List.map (fun e -> e.message) sorted
+end
+
+(* ------------------------------------------------------------------ *)
+(* Store differential.                                                 *)
+
+(* Blocks here only need unique hashes and a valid parent link; the store
+   never checks proof-of-work, so skipping the oracle keeps tree
+   construction cheap enough for many QCheck cases. *)
+let mk_block ~parent ~tag =
+  {
+    Types.b_header =
+      { parent; pointer = parent; nonce = Int64.of_int tag; digest = Merkle.empty_root; record = "" };
+    b_hash = Hash.of_raw (Sha256.digest (Printf.sprintf "differential-%d" tag));
+    fruits = [];
+    b_prov = None;
+  }
+
+(* Grow the same random block tree in both stores: each new block picks a
+   uniformly random existing block as its parent. *)
+let build_tree driver ~blocks =
+  let arena = Store.create () and reference = Ref_store.create () in
+  let hashes = Array.make (blocks + 1) Types.genesis.b_hash in
+  for i = 1 to blocks do
+    let parent = hashes.(Rng.int driver i) in
+    let b = mk_block ~parent ~tag:i in
+    Store.add arena b;
+    Ref_store.add reference b;
+    hashes.(i) <- b.Types.b_hash
+  done;
+  (arena, reference, hashes)
+
+let hashes_of_blocks = List.map (fun (b : Types.block) -> b.Types.b_hash)
+let hash_list = Alcotest.testable Hash.pp Hash.equal
+
+let check_store_agree driver (arena, reference, hashes) =
+  let pick () = hashes.(Rng.int driver (Array.length hashes)) in
+  Alcotest.(check int) "size" (Ref_store.size reference) (Store.size arena);
+  Array.iter
+    (fun h ->
+      Alcotest.(check bool) "mem" (Ref_store.mem reference h) (Store.mem arena h);
+      Alcotest.(check int) "height" (Ref_store.height reference h) (Store.height arena h);
+      match (Ref_store.find reference h, Store.find arena h) with
+      | Some a, Some b -> Alcotest.(check bool) "find" true (Types.block_equal a b)
+      | None, None -> ()
+      | _ -> Alcotest.fail "find presence disagrees")
+    hashes;
+  for _ = 1 to 20 do
+    let head = pick () in
+    Alcotest.(check (list hash_list)) "to_list"
+      (hashes_of_blocks (Ref_store.to_list reference ~head))
+      (hashes_of_blocks (Store.to_list arena ~head));
+    let len = Store.height arena head + 1 in
+    List.iter
+      (fun n ->
+        Alcotest.(check (list hash_list))
+          (Printf.sprintf "last_n %d" n)
+          (hashes_of_blocks (Ref_store.last_n reference ~head n))
+          (hashes_of_blocks (Store.last_n arena ~head n)))
+      [ 0; 1; 2; len - 1; len; len + 5 ];
+    List.iter
+      (fun target ->
+        let expect =
+          Option.map
+            (fun (b : Types.block) -> b.Types.b_hash)
+            (Ref_store.ancestor_at_height reference ~head ~height:target)
+        in
+        let got =
+          Option.map
+            (fun (b : Types.block) -> b.Types.b_hash)
+            (Store.ancestor_at_height arena ~head ~height:target)
+        in
+        Alcotest.(check (option hash_list)) "ancestor_at_height" expect got)
+      [ -1; 0; 1; len / 2; len - 1; len; len + 3 ];
+    let other = pick () in
+    Alcotest.(check int) "common_prefix_height"
+      (Ref_store.common_prefix_height reference head other)
+      (Store.common_prefix_height arena head other);
+    (* The id plane must agree with the hash plane it shadows. *)
+    let hid = Store.id arena head in
+    Alcotest.(check bool) "hash_at/id roundtrip" true
+      (Hash.equal (Store.hash_at arena hid) head);
+    Alcotest.(check int) "height_at = height" (Store.height arena head)
+      (Store.height_at arena hid);
+    if not (Store.id_equal hid Store.genesis_id) then begin
+      let parent_hash = (Store.find_exn arena head).Types.b_header.parent in
+      Alcotest.(check bool) "parent_id matches header parent" true
+        (Hash.equal (Store.hash_at arena (Store.parent_id arena hid)) parent_hash)
+    end
+  done
+
+let store_differential =
+  QCheck.Test.make ~name:"arena store = reference store (random trees)" ~count:25
+    QCheck.(small_nat)
+    (fun seed ->
+      let driver = Rng.of_seed (Int64.of_int (seed + 1)) in
+      let tree = build_tree driver ~blocks:(20 + Rng.int driver 40) in
+      check_store_agree driver tree;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle differential.                                                *)
+
+(* Probabilities chosen to hit every branch of the view fold: p = 0
+   (zero limit), tiny p (failure range overflows the signed 63-bit size),
+   mid p, p >= 1/2 (success range overflows), p = 1 (certain success). *)
+let interesting_probs = [| 0.0; 1e-9; 1e-4; 0.02; 0.3; 0.5; 0.9; 1.0 |]
+
+let oracle_differential =
+  QCheck.Test.make ~name:"deferred oracle = per-query sampling (same seed)" ~count:60
+    QCheck.(triple small_nat (int_bound (Array.length interesting_probs - 1))
+              (int_bound (Array.length interesting_probs - 1)))
+    (fun (seed, pi, pfi) ->
+      let p = interesting_probs.(pi) and pf = interesting_probs.(pfi) in
+      let seed = Int64.of_int (seed + 17) in
+      let oracle = Oracle.sim ~p ~pf (Rng.of_seed seed) in
+      let reference = Ref_oracle.sim ~p ~pf (Rng.of_seed seed) in
+      for _ = 1 to 300 do
+        let mask = Oracle.attempt oracle "" in
+        let expect = Ref_oracle.query reference in
+        let got = Oracle.attempt_hash oracle in
+        if not (Hash.equal got expect) then
+          Alcotest.failf "digest diverged: %a <> %a" Hash.pp got Hash.pp expect;
+        (* The win mask must agree with the threshold test on the digest it
+           stands in for — the mask-equivalence contract of the rewrite. *)
+        Alcotest.(check bool) "block win = threshold test"
+          (Hash.meets_block_difficulty expect ~p)
+          (Oracle.attempt_won_block mask);
+        Alcotest.(check bool) "fruit win = threshold test"
+          (Hash.meets_fruit_difficulty expect ~pf)
+          (Oracle.attempt_won_fruit mask)
+      done;
+      Alcotest.(check int) "block wins" reference.Ref_oracle.block_wins (Oracle.block_wins oracle);
+      Alcotest.(check int) "fruit wins" reference.Ref_oracle.fruit_wins (Oracle.fruit_wins oracle);
+      true)
+
+(* [query] must keep materializing exactly the attempt digest. *)
+let oracle_query_is_attempt =
+  QCheck.Test.make ~name:"oracle query = attempt + attempt_hash" ~count:20
+    QCheck.small_nat
+    (fun seed ->
+      let seed = Int64.of_int (seed + 3) in
+      let a = Oracle.sim ~p:0.1 ~pf:0.4 (Rng.of_seed seed) in
+      let b = Oracle.sim ~p:0.1 ~pf:0.4 (Rng.of_seed seed) in
+      for _ = 1 to 200 do
+        let h = Oracle.query a "" in
+        let _mask = Oracle.attempt b "" in
+        if not (Hash.equal h (Oracle.attempt_hash b)) then
+          Alcotest.fail "query and attempt_hash diverged"
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Network differential.                                               *)
+
+type op = Send of { sender : int; recipient : int; tag : int; priority : int;
+                    schedule : Network.schedule }
+
+(* A random Δ-bounded adversarial workload: honest and rushed priorities
+   interleaved, explicit rounds both inside and outside the legal window
+   (exercising the clamp), and uniform-window draws (exercising that both
+   implementations consume the schedule RNG identically). *)
+let gen_ops driver ~n ~delta ~rounds =
+  let tag = ref 0 in
+  List.init rounds (fun now ->
+      let sends =
+        List.init (Rng.int driver 5) (fun _ ->
+            incr tag;
+            let schedule =
+              match Rng.int driver 4 with
+              | 0 -> Network.At (now - 1 + Rng.int driver (2 * delta + 3))
+              | 1 -> Network.Uniform_in_window
+              | 2 -> Network.Next_round
+              | _ -> Network.Max_delay
+            in
+            Send
+              {
+                sender = Rng.int driver n;
+                recipient = Rng.int driver n;
+                tag = !tag;
+                priority =
+                  (if Rng.bool driver then Message.honest_priority
+                   else Message.rushed_priority);
+                schedule;
+              })
+      in
+      (now, sends))
+
+let msg_key (m : Message.t) = (m.Message.sender, m.Message.sent_at, m.Message.priority)
+
+let run_network_differential ?ring_policy ?ref_policy ~skip_drains seed =
+  let n = 2 + Rng.int (Rng.of_seed (Int64.of_int (seed + 5))) 4 in
+  let driver = Rng.of_seed (Int64.of_int (seed * 31 + 7)) in
+  let delta = 1 + Rng.int driver 4 in
+  let rounds = 30 in
+  let ops = gen_ops driver ~n ~delta ~rounds in
+  let sched_seed = Int64.of_int (seed * 13 + 1) in
+  let rng_a = Rng.of_seed sched_seed and rng_b = Rng.of_seed sched_seed in
+  let net = Network.create ?policy:ring_policy ~n ~delta () in
+  let reference = Ref_network.create ?policy:ref_policy ~n ~delta () in
+  (* Some (round, recipient) drains are skipped and retried later: the ring
+     must hold both slot content and overflow spill until the drain with the
+     exact round number arrives, like the reference hashtable does. *)
+  let skipped = ref [] in
+  let drain_round round =
+    for recipient = 0 to n - 1 do
+      if skip_drains && Int.equal (Rng.int driver 5) 0 then
+        skipped := (round, recipient) :: !skipped
+      else begin
+        let got = List.map msg_key (Network.drain net ~round ~recipient) in
+        let expect = List.map msg_key (Ref_network.drain reference ~round ~recipient) in
+        Alcotest.(check (list (triple int int int))) "drain order" expect got
+      end
+    done
+  in
+  List.iter
+    (fun (now, sends) ->
+      List.iter
+        (fun (Send { sender; recipient; tag; priority; schedule }) ->
+          let message =
+            Message.chain_announce ~sender ~sent_at:tag ~priority ~blocks:[]
+              ~head:Types.genesis.b_hash ()
+          in
+          Network.send_to net ~now ~recipient ~schedule ~rng:rng_a message;
+          Ref_network.send_to reference ~now ~recipient ~schedule ~rng:rng_b message)
+        sends;
+      drain_round now)
+    ops;
+  (* Flush: every delivery round within the horizon plus the policy push,
+     then the drains that were skipped above. *)
+  for round = rounds to rounds + (4 * delta) + 8 do
+    drain_round round
+  done;
+  List.iter
+    (fun (round, recipient) ->
+      let got = List.map msg_key (Network.drain net ~round ~recipient) in
+      let expect = List.map msg_key (Ref_network.drain reference ~round ~recipient) in
+      Alcotest.(check (list (triple int int int))) "late drain order" expect got)
+    !skipped;
+  Alcotest.(check int) "sent" (reference.Ref_network.sent) (Network.sent net);
+  Alcotest.(check int) "delivered" reference.Ref_network.delivered (Network.delivered net);
+  Alcotest.(check int) "pending" reference.Ref_network.pending (Network.pending net);
+  true
+
+let network_differential =
+  QCheck.Test.make ~name:"ring network = sorted-list network" ~count:40 QCheck.small_nat
+    (fun seed -> run_network_differential ~skip_drains:false seed)
+
+let network_differential_skips =
+  QCheck.Test.make ~name:"ring network = sorted-list network (skipped drains)" ~count:40
+    QCheck.small_nat
+    (fun seed -> run_network_differential ~skip_drains:true seed)
+
+(* A fault policy that holds some traffic far past Δ forces deliveries
+   beyond the ring horizon into the overflow table. *)
+let push_policy ~now ~sender:_ ~recipient ~round =
+  if Int.equal (recipient mod 2) 0 && Int.equal (round mod 3) 0 then round + 11 else max (now + 1) round
+
+let network_differential_overflow =
+  QCheck.Test.make ~name:"ring network = sorted-list network (overflow policy)" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      run_network_differential ~ring_policy:push_policy ~ref_policy:push_policy
+        ~skip_drains:true seed)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "store",
+        [ QCheck_alcotest.to_alcotest store_differential ] );
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest oracle_differential;
+          QCheck_alcotest.to_alcotest oracle_query_is_attempt;
+        ] );
+      ( "network",
+        [
+          QCheck_alcotest.to_alcotest network_differential;
+          QCheck_alcotest.to_alcotest network_differential_skips;
+          QCheck_alcotest.to_alcotest network_differential_overflow;
+        ] );
+    ]

@@ -42,8 +42,16 @@ let test_r2_clean () =
     (Lint.lint_files ~only:[ Lint.R2 ] [ fx "lib/chain/r2_ok.ml" ])
 
 let test_r2_scoped () =
-  check_diags "poly compare outside chain/crypto/core is allowed" []
+  check_diags "poly compare outside chain/crypto/core/net is allowed" []
     (Lint.lint_files ~only:[ Lint.R2 ] [ fx "lib/util/r2_elsewhere.ml" ])
+
+let test_r2_net () =
+  (* Envelope ordering is the delivery-determinism contract, so lib/net is
+     in scope for R2 like the digest-bearing directories. *)
+  let file = fx "lib/net/r2_bad.ml" in
+  check_diags "poly compare in lib/net is flagged"
+    [ (file, 2, "R2"); (file, 3, "R2"); (file, 4, "R2"); (file, 5, "R2"); (file, 6, "R2") ]
+    (Lint.lint_files ~only:[ Lint.R2 ] [ file ])
 
 (* --- R3: total validation -------------------------------------------- *)
 
@@ -217,6 +225,7 @@ let () =
           Alcotest.test_case "fires" `Quick test_r2_fires;
           Alcotest.test_case "clean" `Quick test_r2_clean;
           Alcotest.test_case "scoped" `Quick test_r2_scoped;
+          Alcotest.test_case "net in scope" `Quick test_r2_net;
         ] );
       ( "R3 totality",
         [

@@ -1,0 +1,160 @@
+(* bench_check — guard against wall-clock regressions in the reproduction.
+
+   Usage:
+
+     bench_check BASELINE.json FRESH.json [--max-regression PCT] [--slack-s S]
+
+   Both files are BENCH.json telemetry (schema fruitchains-bench/1, as
+   written by `bench/main.exe --json`). The check fails (exit 1) when any
+   experiment present in the baseline regresses by more than PCT percent
+   wall time (default 25) in the fresh run, or when an experiment
+   disappears, or when either file is malformed or the schemas/scales do
+   not match. Exit 2 on usage errors.
+
+   Sub-second experiments jitter by large relative factors on shared CI
+   hardware, so a regression only counts when it also exceeds an absolute
+   slack (default 0.1 s). Experiments new in the fresh run are reported
+   but do not fail the check — the next baseline refresh picks them up. *)
+
+module Json = Fruitchain_obs.Json
+
+let usage = "usage: bench_check BASELINE.json FRESH.json [--max-regression PCT] [--slack-s S]"
+
+let fail_usage msg =
+  prerr_endline ("bench_check: " ^ msg);
+  prerr_endline usage;
+  exit 2
+
+let read_file path =
+  if not (Sys.file_exists path) then fail_usage ("no such file: " ^ path);
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_doc path =
+  match Json.of_string (read_file path) with
+  | Ok doc -> doc
+  | Error msg ->
+      Printf.eprintf "bench_check: %s: malformed JSON: %s\n" path msg;
+      exit 1
+
+let str_field path doc name =
+  match Option.bind (Json.member name doc) Json.to_str with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "bench_check: %s: missing string field %S\n" path name;
+      exit 1
+
+(* id -> wall_s, in file order. *)
+let experiments path doc =
+  match Option.bind (Json.member "experiments" doc) Json.to_list with
+  | None ->
+      Printf.eprintf "bench_check: %s: missing \"experiments\" list\n" path;
+      exit 1
+  | Some entries ->
+      List.map
+        (fun entry ->
+          match
+            ( Option.bind (Json.member "id" entry) Json.to_str,
+              Option.bind (Json.member "wall_s" entry) Json.to_float )
+          with
+          | Some id, Some wall -> (id, wall)
+          | _ ->
+              Printf.eprintf "bench_check: %s: experiment entry without id/wall_s\n" path;
+              exit 1)
+        entries
+
+let () =
+  let max_regression = ref 25.0 in
+  let slack_s = ref 0.1 in
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--max-regression" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 ->
+            max_regression := p;
+            parse_args rest
+        | _ -> fail_usage "--max-regression expects a non-negative number")
+    | "--slack-s" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0.0 ->
+            slack_s := s;
+            parse_args rest
+        | _ -> fail_usage "--slack-s expects a non-negative number")
+    | ("--max-regression" | "--slack-s") :: [] -> fail_usage "missing flag value"
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        positional := p :: !positional;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match List.rev !positional with
+    | [ b; f ] -> (b, f)
+    | _ -> fail_usage "expected exactly two files: BASELINE.json FRESH.json"
+  in
+  let baseline = parse_doc baseline_path and fresh = parse_doc fresh_path in
+  List.iter
+    (fun (path, doc) ->
+      let schema = str_field path doc "schema" in
+      if not (String.equal schema "fruitchains-bench/1") then begin
+        Printf.eprintf "bench_check: %s: unsupported schema %S\n" path schema;
+        exit 1
+      end)
+    [ (baseline_path, baseline); (fresh_path, fresh) ];
+  let base_scale = str_field baseline_path baseline "scale"
+  and fresh_scale = str_field fresh_path fresh "scale" in
+  if not (String.equal base_scale fresh_scale) then begin
+    Printf.eprintf "bench_check: scale mismatch: baseline is %S, fresh is %S\n" base_scale
+      fresh_scale;
+    exit 1
+  end;
+  let base_exps = experiments baseline_path baseline
+  and fresh_exps = experiments fresh_path fresh in
+  let threshold = 1.0 +. (!max_regression /. 100.0) in
+  let failures = ref 0 in
+  Printf.printf "%-6s %12s %12s %9s\n" "id" "baseline(s)" "fresh(s)" "delta";
+  List.iter
+    (fun (id, base_wall) ->
+      match List.find_opt (fun (id', _) -> String.equal id id') fresh_exps with
+      | None ->
+          incr failures;
+          Printf.printf "%-6s %12.2f %12s %9s  MISSING from fresh run\n" id base_wall "-" "-"
+      | Some (_, fresh_wall) ->
+          let pct =
+            if base_wall > 0.0 then 100.0 *. ((fresh_wall /. base_wall) -. 1.0) else 0.0
+          in
+          let regressed =
+            fresh_wall > base_wall *. threshold && fresh_wall -. base_wall > !slack_s
+          in
+          if regressed then incr failures;
+          Printf.printf "%-6s %12.2f %12.2f %+8.1f%%%s\n" id base_wall fresh_wall pct
+            (if regressed then "  REGRESSION" else ""))
+    base_exps;
+  List.iter
+    (fun (id, fresh_wall) ->
+      if not (List.exists (fun (id', _) -> String.equal id id') base_exps) then
+        Printf.printf "%-6s %12s %12.2f %9s  new (not in baseline)\n" id "-" fresh_wall "-")
+    fresh_exps;
+  let total path doc =
+    match Option.bind (Json.member "total_wall_s" doc) Json.to_float with
+    | Some t -> t
+    | None ->
+        Printf.eprintf "bench_check: %s: missing \"total_wall_s\"\n" path;
+        exit 1
+  in
+  Printf.printf "%-6s %12.2f %12.2f\n" "total" (total baseline_path baseline)
+    (total fresh_path fresh);
+  if !failures > 0 then begin
+    Printf.eprintf "bench_check: %d experiment%s regressed beyond %.0f%% (+%.2fs slack)\n"
+      !failures
+      (if Int.equal !failures 1 then "" else "s")
+      !max_regression !slack_s;
+    exit 1
+  end;
+  Printf.printf "bench_check: OK (no experiment regressed beyond %.0f%% +%.2fs slack)\n"
+    !max_regression !slack_s

@@ -7,8 +7,9 @@
          outside lib/util/rng.ml and the allowlist — all randomness must
          flow through Fruitchain_util.Rng split streams.
      R2  no polymorphic compare/equality (=, <>, ==, !=, compare) in
-         lib/chain/, lib/crypto/, lib/core/ — structural compare on
-         digests and mutable state is a correctness trap.
+         lib/chain/, lib/crypto/, lib/core/, lib/net/ — structural compare
+         on digests and mutable state is a correctness trap (in lib/net it
+         once ordered envelopes with polymorphic compare over messages).
      R3  total validation: no failwith/invalid_arg/raise/assert in
          lib/chain/validate.ml and lib/core/extract.ml — hot validation
          paths must return [result].
@@ -100,8 +101,11 @@ let rec contains_sublist sub l =
 let r1_allowlist = [ [ "lib"; "util"; "rng.ml" ]; [ "lib"; "obs"; "clock.ml" ] ]
 
 (* Directories where polymorphic compare on digest-bearing values is a
-   correctness trap. *)
-let r2_dirs = [ [ "lib"; "chain" ]; [ "lib"; "crypto" ]; [ "lib"; "core" ] ]
+   correctness trap. lib/net is included because envelope ordering is the
+   delivery-determinism contract: comparing whole messages structurally
+   would make it depend on payload representation. *)
+let r2_dirs =
+  [ [ "lib"; "chain" ]; [ "lib"; "crypto" ]; [ "lib"; "core" ]; [ "lib"; "net" ] ]
 
 (* Hot validation paths that must stay total ([result], never [raise]). *)
 let r3_files = [ [ "lib"; "chain"; "validate.ml" ]; [ "lib"; "core"; "extract.ml" ] ]

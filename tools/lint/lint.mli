@@ -7,7 +7,7 @@
     - {b R1} determinism: no [Stdlib.Random], [Sys.time], [Unix.*] or
       [Hashtbl.hash] outside [lib/util/rng.ml] and the allowlist.
     - {b R2} no polymorphic compare/equality ([=], [<>], [==], [!=],
-      [compare]) in [lib/chain/], [lib/crypto/], [lib/core/].
+      [compare]) in [lib/chain/], [lib/crypto/], [lib/core/], [lib/net/].
     - {b R3} total validation: no [failwith]/[invalid_arg]/[raise]/[assert]
       in [lib/chain/validate.ml] and [lib/core/extract.ml].
     - {b R4} interface completeness: every [.ml] under [lib/] has a
