@@ -101,17 +101,25 @@ let fold_back_id t ~head ~init ~f =
 let fold_back t ~head ~init ~f =
   fold_back_id t ~head:(id t head) ~init ~f:(fun acc i -> f acc t.blocks.(i))
 
-let to_list t ~head = fold_back t ~head ~init:[] ~f:(fun acc b -> b :: acc)
+let to_list_id t ~head =
+  fold_back_id t ~head ~init:[] ~f:(fun acc i -> t.blocks.(i) :: acc)
 
-let last_n t ~head n =
+let to_list t ~head = to_list_id t ~head:(id t head)
+
+(* Ids of the at-most-[n] trailing blocks ending at [head], oldest first.
+   The id-based core lets resolved callers (validation, extraction) stay
+   total; the hash-based wrappers below resolve once and delegate. *)
+let last_n_ids t ~head n =
   if n <= 0 then []
   else
     let rec go acc i remaining =
-      let acc = t.blocks.(i) :: acc in
+      let acc = i :: acc in
       if Int.equal i genesis_id || Int.equal remaining 1 then acc
       else go acc t.parents.(i) (remaining - 1)
     in
-    go [] (id t head) n
+    go [] head n
+
+let last_n t ~head n = List.map (fun i -> t.blocks.(i)) (last_n_ids t ~head:(id t head) n)
 
 let ancestor_id_at_height t ~head ~height:target =
   if target < 0 || target > t.heights.(head) then None
@@ -148,14 +156,20 @@ let common_prefix_height_id t a b =
 
 let common_prefix_height t a b = common_prefix_height_id t (id t a) (id t b)
 
-let recent_fruit_hashes t ~head ~window =
+let recent_fruit_hashes_id t ~head ~window =
   let acc = Hashtbl.create 64 in
   List.iter
-    (fun b -> List.iter (fun f -> Hashtbl.replace acc f.f_hash ()) b.fruits)
-    (last_n t ~head window);
+    (fun i -> List.iter (fun f -> Hashtbl.replace acc f.f_hash ()) t.blocks.(i).fruits)
+    (last_n_ids t ~head window);
   acc
 
-let hang_positions t ~head ~window =
+let recent_fruit_hashes t ~head ~window = recent_fruit_hashes_id t ~head:(id t head) ~window
+
+let hang_positions_id t ~head ~window =
   let acc = Hashtbl.create 64 in
-  List.iter (fun b -> Hashtbl.replace acc b.b_hash (height t b.b_hash)) (last_n t ~head window);
+  List.iter
+    (fun i -> Hashtbl.replace acc t.blocks.(i).b_hash t.heights.(i))
+    (last_n_ids t ~head window);
   acc
+
+let hang_positions t ~head ~window = hang_positions_id t ~head:(id t head) ~window

@@ -45,6 +45,17 @@ val common_prefix_height_id : t -> id -> id -> int
 val fold_back_id : t -> head:id -> init:'acc -> f:('acc -> id -> 'acc) -> 'acc
 (** Folds ids from [head] down to genesis (inclusive). *)
 
+val to_list_id : t -> head:id -> block list
+(** The chain from genesis (inclusive, first) to [head] (last).  Total:
+    ids are valid by construction, so resolved callers (validation,
+    extraction) can list chains without a raising hash lookup. *)
+
+val recent_fruit_hashes_id : t -> head:id -> window:int -> (Hash.t, unit) Hashtbl.t
+(** {!recent_fruit_hashes} over an already-resolved head. *)
+
+val hang_positions_id : t -> head:id -> window:int -> (Hash.t, int) Hashtbl.t
+(** {!hang_positions} over an already-resolved head. *)
+
 val create : unit -> t
 (** A store containing only {!Types.genesis}. *)
 

@@ -19,7 +19,7 @@ type block = {
   b_prov : provenance option;
 }
 
-let genesis_hash = Hash.of_raw (Sha256.digest "fruitchain:genesis")
+let genesis_hash = Hash.of_digest (Sha256.digest "fruitchain:genesis")
 
 let genesis =
   {

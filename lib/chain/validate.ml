@@ -73,23 +73,26 @@ let valid_chain oracle ~recency chain =
       walk first 1 rest
 
 let valid_extension oracle store ~recency block =
-  if not (Store.mem store block.b_header.parent) then
-    Error (Broken_link { position = -1 })
-  else begin
-    let position = Store.height store block.b_header.parent + 1 in
-    if not (valid_block oracle block) then Error (Invalid_block { position })
-    else
-      match recency with
-      | None -> Ok ()
-      | Some window ->
-          let positions = Store.hang_positions store ~head:block.b_header.parent ~window in
-          let lo = max 0 (position - window) in
-          let rec check = function
-            | [] -> Ok ()
-            | f :: rest ->
-                if recent_enough positions ~pointer:f.f_header.pointer ~lo ~hi:position then
-                  check rest
-                else Error (Stale_fruit { position; fruit = f.f_hash })
-          in
-          check block.fruits
-  end
+  (* Resolve the parent hash exactly once: [find_id] keeps this entry
+     point total (R10) where the old [mem]-then-[height] pair re-looked
+     the hash up through a raising accessor. *)
+  match Store.find_id store block.b_header.parent with
+  | None -> Error (Broken_link { position = -1 })
+  | Some parent_id ->
+      let position = Store.height_at store parent_id + 1 in
+      if not (valid_block oracle block) then Error (Invalid_block { position })
+      else begin
+        match recency with
+        | None -> Ok ()
+        | Some window ->
+            let positions = Store.hang_positions_id store ~head:parent_id ~window in
+            let lo = max 0 (position - window) in
+            let rec check = function
+              | [] -> Ok ()
+              | f :: rest ->
+                  if recent_enough positions ~pointer:f.f_header.pointer ~lo ~hi:position then
+                    check rest
+                  else Error (Stale_fruit { position; fruit = f.f_hash })
+            in
+            check block.fruits
+      end

@@ -16,7 +16,13 @@ let fruits_of_chain chain =
     chain;
   List.rev !out
 
-let fruits store ~head = fruits_of_chain (Store.to_list store ~head)
+(* Resolve the head hash once and walk ids: keeps this entry point total
+   (R10).  An unknown head yields the empty chain — extraction is a pure
+   function of what the store actually contains. *)
+let fruits store ~head =
+  match Store.find_id store head with
+  | None -> []
+  | Some i -> fruits_of_chain (Store.to_list_id store ~head:i)
 
 let records fruit_list =
   List.filter_map

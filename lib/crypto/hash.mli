@@ -14,6 +14,12 @@ type t
 val of_raw : string -> t
 (** [of_raw s] wraps a 32-byte string. Raises [Invalid_argument] otherwise. *)
 
+val of_digest : string -> t
+(** Total variant of {!of_raw} for strings that are 32 bytes by
+    construction — SHA-256 output ({!Sha256.digest}, [Sha256.finalize]).
+    Not validated: passing anything else breaks the digest invariant.
+    Boundary input (hex, decoded messages) must use {!of_raw}. *)
+
 val to_raw : t -> string
 val zero : t
 (** The all-zero digest, used by the genesis block. *)

@@ -1,8 +1,8 @@
-let empty_root = Hash.of_raw (Sha256.digest "fruitchain:merkle:empty")
-let leaf_hash s = Hash.of_raw (Sha256.digest ("\x00" ^ s))
+let empty_root = Hash.of_digest (Sha256.digest "fruitchain:merkle:empty")
+let leaf_hash s = Hash.of_digest (Sha256.digest ("\x00" ^ s))
 
 let node_hash l r =
-  Hash.of_raw (Sha256.digest ("\x01" ^ Hash.to_raw l ^ Hash.to_raw r))
+  Hash.of_digest (Sha256.digest ("\x01" ^ Hash.to_raw l ^ Hash.to_raw r))
 
 (* Collapse one level: pair up nodes left to right; an unpaired last node is
    promoted unchanged. *)

@@ -125,7 +125,7 @@ let attempt t input =
   t.queries <- t.queries + 1;
   match t.backend with
   | Real ->
-      let h = Hash.of_raw (Sha256.digest input) in
+      let h = Hash.of_digest (Sha256.digest input) in
       t.last_hash <- h;
       t.last_hash_valid <- true;
       let mask = ref 0 in
@@ -196,7 +196,7 @@ let query t input =
 
 let verify t input claimed =
   match t.backend with
-  | Real -> Hash.equal (Hash.of_raw (Sha256.digest input)) claimed
+  | Real -> Hash.equal (Hash.of_digest (Sha256.digest input)) claimed
   | Sim { memo = Some tbl; _ } -> (
       match Hashtbl.find_opt tbl input with
       | Some h -> Hash.equal h claimed

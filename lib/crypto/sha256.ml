@@ -84,7 +84,11 @@ let compress ctx block pos =
   ctx.h.(7) <- (ctx.h.(7) + !h) land mask32
 
 let update_bytes ctx data ~pos ~len =
+  (* Bounds guard for the public ~pos/~len API; the whole-string callers on
+     the validation paths ([update], [digest]) pass [0, length] and cannot
+     trip it. *)
   if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    (* fruitlint: allow R10 *)
     invalid_arg "Sha256.update_bytes: out of bounds";
   ctx.total <- Int64.add ctx.total (Int64.of_int len);
   let offset = ref pos and remaining = ref len in
@@ -127,6 +131,8 @@ let finalize ctx =
   let saved_total = ctx.total in
   update_bytes ctx tail ~pos:0 ~len:(Bytes.length tail);
   ctx.total <- saved_total;
+  (* Padding always rounds the absorbed length to a block multiple, so the
+     buffer is empty by arithmetic, not by input.  fruitlint: allow R10 *)
   assert (Int.equal ctx.buf_len 0);
   let out = Bytes.create 32 in
   for i = 0 to 7 do

@@ -1,0 +1,7 @@
+(* Module-alias laundering: [C] re-names the blessed clock module, then
+   [tick] reads the wall clock through the alias.  No token the per-file
+   pass recognizes (Unix.*, Sys.time) appears here, so R1-R7 say nothing;
+   only interprocedural effect inference sees the Clock effect arrive. *)
+module C = Fruitchain_obs.Clock
+
+let tick () = C.now_s ()

@@ -1,0 +1,7 @@
+(* Instantiating the functor smuggles the Rng effect into this module:
+   no Random.* token appears here, but [draw] is nondeterministic. *)
+module M = Fruitchain_sim.Maker.Make (struct
+  let bound = 6
+end)
+
+let draw () = M.roll ()

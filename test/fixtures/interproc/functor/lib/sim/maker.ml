@@ -1,0 +1,9 @@
+(* A functor whose body samples ambient randomness.  The functor itself is
+   only a recipe; the effect escapes where it is instantiated and used. *)
+module Make (X : sig
+  val bound : int
+end) =
+struct
+  let roll () = Random.int X.bound
+  let label = "maker"
+end

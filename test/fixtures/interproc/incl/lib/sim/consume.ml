@@ -1,0 +1,3 @@
+(* Reaches the clock through the include re-export; resolution must
+   descend through [Reexport]'s include to find the real definition. *)
+let stamp x = (Fruitchain_sim.Reexport.now_s (), x)

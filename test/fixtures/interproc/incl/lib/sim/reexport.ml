@@ -1,0 +1,3 @@
+(* Include re-export: every value of the blessed clock module becomes a
+   value of this (non-blessed) module. *)
+include Fruitchain_obs.Clock

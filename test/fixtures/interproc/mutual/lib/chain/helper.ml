@@ -1,0 +1,3 @@
+(* The other half of the cycle; the raise here must propagate around the
+   loop and surface at the validation entry point. *)
+let step n = if n > 100 then failwith "helper: diverged" else Fruitchain_chain.Validate.check (n + 1)

@@ -1,0 +1,3 @@
+let now_s () = Unix.gettimeofday ()
+let diff t0 t1 = t1 -. t0
+let lapse scale t0 = scale *. (Unix.gettimeofday () -. t0)

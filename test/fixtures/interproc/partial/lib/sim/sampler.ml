@@ -1,0 +1,8 @@
+(* Partial application of an effectful function: [lapse] reads the clock,
+   and the partial application below produces a closure that carries that
+   effect without any syntactic clock token in this file. *)
+let ms_lapse = Fruitchain_obs.Clock.lapse 1000.0
+
+(* A pure partial application for contrast: [diff] has no effects, so the
+   closure it yields must not be flagged. *)
+let from_zero = Fruitchain_obs.Clock.diff 0.0

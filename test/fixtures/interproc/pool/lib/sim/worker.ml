@@ -1,0 +1,19 @@
+(* A work unit handed to the domain pool that captures and mutates a
+   top-level ref: a data race when the pool fans out.  [pure_work] keeps a
+   local accumulator and must not be flagged. *)
+let hits = ref 0
+
+let racy_work xs =
+  Fruitchain_util.Pool.map
+    (fun x ->
+      hits := !hits + x;
+      x + 1)
+    xs
+
+let pure_work xs =
+  let local = ref 0 in
+  Fruitchain_util.Pool.map
+    (fun x ->
+      local := !local + x;
+      x + !local)
+    xs

@@ -1,0 +1,2 @@
+(* Hop 3: the actual raise lives two calls away from the entry point. *)
+let nonneg n = if n < 0 then invalid_arg "guards: negative" else n

@@ -1,0 +1,2 @@
+(* Hop 2: forwards to the guard. *)
+let ensure n = Fruitchain_chain.Guards.nonneg n

@@ -1,0 +1,7 @@
+(* Hop 1: a validation entry point with no raising token of its own — the
+   per-file totality rule (R3) has nothing to flag here, but the exception
+   still escapes through two intermediate calls. *)
+let check n = Fruitchain_chain.Rules.ensure n
+
+(* A genuinely total neighbour for contrast. *)
+let check_opt n = if n < 0 then None else Some n

@@ -178,6 +178,123 @@ let test_suppression_multi_rule () =
   in
   check_diags "one comment can allow several rules" [] diags
 
+(* --- R8-R10: interprocedural effect inference ------------------------- *)
+
+(* Each fixture under fixtures/interproc/ is a miniature multi-file tree
+   (lib/obs, lib/sim, lib/chain ...) so that cross-library references
+   resolve exactly as they do in the real repository.  The per-file pass
+   is run alongside to prove each laundering pattern is invisible to it. *)
+
+let ip sub = fx (Filename.concat "interproc" sub)
+
+(* The syntactic effect rules: everything per-file except R4 (interface
+   completeness — fixtures carry no .mli on purpose) and R8-R10. *)
+let per_file_effect_rules = Lint.[ R1; R2; R3; R5; R6; R7 ]
+
+let last_note name expected diags =
+  match diags with
+  | [ (d : Lint.diag) ] ->
+      Alcotest.(check (option string))
+        name (Some expected)
+        (match List.rev d.notes with last :: _ -> Some last | [] -> None)
+  | ds -> Alcotest.failf "%s: expected exactly one diagnostic, got %d" name (List.length ds)
+
+let test_r8_module_alias_laundering () =
+  (* The seeded regression the old pass provably misses: [module C =
+     Fruitchain_obs.Clock] re-names the capability, and [tick] reads the
+     wall clock with no Unix/Sys token in the file. *)
+  let tree = ip "alias" in
+  check_diags "per-file rules see nothing" []
+    (Lint.lint_files ~only:per_file_effect_rules [ tree ]);
+  let diags = Lint.lint_files ~only:[ Lint.R8 ] [ tree ] in
+  check_diags "R8 flags the laundering binding"
+    [ (Filename.concat tree "lib/sim/ticker.ml", 7, "R8") ]
+    diags;
+  last_note "the effect path ends at the clock primitive" "Unix.gettimeofday" diags
+
+let test_r8_include_reexport () =
+  let tree = ip "incl" in
+  check_diags "per-file rules see nothing" []
+    (Lint.lint_files ~only:per_file_effect_rules [ tree ]);
+  let diags = Lint.lint_files ~only:[ Lint.R8 ] [ tree ] in
+  check_diags "R8 resolves through the include to the consumer"
+    [ (Filename.concat tree "lib/sim/consume.ml", 3, "R8") ]
+    diags;
+  last_note "path reaches the primitive behind the include" "Unix.gettimeofday" diags
+
+let test_r8_partial_application () =
+  let tree = ip "partial" in
+  check_diags "per-file rules see nothing" []
+    (Lint.lint_files ~only:per_file_effect_rules [ tree ]);
+  (* Only the effectful partial application is flagged; the pure one
+     ([diff 0.0]) stays clean. *)
+  check_diags "effectful closure flagged, pure closure clean"
+    [ (Filename.concat tree "lib/sim/sampler.ml", 4, "R8") ]
+    (Lint.lint_files ~only:[ Lint.R8 ] [ tree ])
+
+let test_r8_functor_smuggling () =
+  let tree = ip "functor" in
+  (* The per-file pass flags the origin (Random.int inside the functor
+     body) but is blind to the instantiation site that actually uses it. *)
+  check_diags "per-file pass sees only the origin"
+    [ (Filename.concat tree "lib/sim/maker.ml", 7, "R1") ]
+    (Lint.lint_files ~only:per_file_effect_rules [ tree ]);
+  let diags = Lint.lint_files ~only:[ Lint.R8 ] [ tree ] in
+  check_diags "R8 flags the use through the functor application"
+    [ (Filename.concat tree "lib/sim/harness.ml", 7, "R8") ]
+    diags;
+  last_note "path threads the functor application" "Random.int" diags
+
+let test_r9_pool_capture () =
+  let tree = ip "pool" in
+  check_diags "per-file rules see nothing" []
+    (Lint.lint_files ~only:per_file_effect_rules [ tree ]);
+  (* [racy_work] captures a mutated top-level ref; [pure_work]'s local
+     accumulator is fine. *)
+  check_diags "only the racy work unit is flagged"
+    [ (Filename.concat tree "lib/sim/worker.ml", 9, "R9") ]
+    (Lint.lint_files ~only:[ Lint.R9 ] [ tree ])
+
+let test_r10_transitive_raise () =
+  let tree = ip "raise" in
+  (* R3 only sees raising tokens inside validate.ml itself — there are
+     none; the exception is three calls away. *)
+  check_diags "R3 alone misses the chain" []
+    (Lint.lint_files ~only:[ Lint.R3 ] [ tree ]);
+  let diags = Lint.lint_files ~only:[ Lint.R10 ] [ tree ] in
+  check_diags "R10 flags the entry point of the 3-hop chain"
+    [ (Filename.concat tree "lib/chain/validate.ml", 4, "R10") ]
+    diags;
+  (match diags with
+  | [ d ] ->
+      Alcotest.(check int) "the rendered path has 4 hops (3 defs + origin)" 4
+        (List.length d.notes)
+  | _ -> Alcotest.fail "expected exactly one R10 diagnostic");
+  last_note "path ends at the raising primitive" "invalid_arg" diags
+
+let test_fixpoint_mutual_recursion () =
+  (* validate.ml and helper.ml call each other across compilation units;
+     the fixpoint must terminate (divergence raises Failure via the
+     round bail-out) and the raise must surface at the entry point. *)
+  let tree = ip "mutual" in
+  check_diags "cycle converges and the raise surfaces"
+    [ (Filename.concat tree "lib/chain/validate.ml", 4, "R10") ]
+    (Lint.lint_files ~only:[ Lint.R8; Lint.R9; Lint.R10 ] [ tree ])
+
+let test_seed_suppression_counted () =
+  (* An allow comment at the raising occurrence stops the Raises effect at
+     its origin — the downstream entry point stays total — and the report
+     counts the silenced origin instead of dropping it silently. *)
+  let r = Lint.lint_files_report ~only:[ Lint.R10 ] [ ip "suppress" ] in
+  Alcotest.(check (list (triple string int string))) "no violations reach the entry point" []
+    (summarize r.diags);
+  Alcotest.(check int) "the silenced origin is counted" 1 r.seed_suppressions;
+  (* Without the suppression machinery the same tree would be flagged:
+     the unsuppressed 3-hop fixture proves the effect does propagate. *)
+  let r' = Lint.lint_files_report ~only:[ Lint.R10 ] [ ip "raise" ] in
+  Alcotest.(check int) "unsuppressed origin still propagates" 1 (List.length r'.diags);
+  Alcotest.(check int) "and is not counted as silenced" 0 r'.seed_suppressions
+
 (* --- CLI exit codes --------------------------------------------------- *)
 
 let exe = Filename.concat ".." (Filename.concat "tools" (Filename.concat "lint" "main.exe"))
@@ -259,6 +376,17 @@ let () =
         [
           Alcotest.test_case "per rule" `Quick test_suppression_is_per_rule;
           Alcotest.test_case "multi rule" `Quick test_suppression_multi_rule;
+        ] );
+      ( "R8-R10 interprocedural",
+        [
+          Alcotest.test_case "module-alias laundering" `Quick test_r8_module_alias_laundering;
+          Alcotest.test_case "include re-export" `Quick test_r8_include_reexport;
+          Alcotest.test_case "partial application" `Quick test_r8_partial_application;
+          Alcotest.test_case "functor smuggling" `Quick test_r8_functor_smuggling;
+          Alcotest.test_case "pool capture race" `Quick test_r9_pool_capture;
+          Alcotest.test_case "transitive raise chain" `Quick test_r10_transitive_raise;
+          Alcotest.test_case "mutual recursion fixpoint" `Quick test_fixpoint_mutual_recursion;
+          Alcotest.test_case "seed suppression counted" `Quick test_seed_suppression_counted;
         ] );
       ("cli", [ Alcotest.test_case "exit codes" `Quick test_cli_exit ]);
       ("tree", [ Alcotest.test_case "lint-clean" `Quick test_tree_clean ]);

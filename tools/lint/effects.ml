@@ -1,0 +1,428 @@
+(* Interprocedural effect inference over the Graph def/use graph.
+
+   Each top-level binding gets an effect set from a six-bit lattice:
+
+     Rng        ambient randomness (Stdlib.Random, polymorphic Hashtbl.hash)
+     Clock      wall-clock reads (Unix.gettimeofday, Sys.time, ...)
+     Io         ambient file/system input (open_in*, In_channel, Unix)
+     DomainPrim raw parallelism primitives (Domain/Atomic/Mutex/Condition)
+     Raises     may raise (explicit raise forms, asserts, partial stdlib)
+     MutGlobal  reads or writes top-level mutable state that is actually
+                mutated somewhere (schedule-dependent under the pool)
+
+   Seeds come from the same syntactic classifiers the per-file rules use;
+   propagation is a monotone fixpoint over references, with two policy
+   hooks supplied by the caller (Lint):
+
+   - [absorbs name] — a mask of effects that do NOT propagate out of
+     references to the binding/module [name].  This models the blessed
+     capability modules: calling [Fruitchain_util.Rng.split] does not make
+     the caller Rng-effectful, because that is the sanctioned way to hold
+     the capability.  A non-absorbing carrier (Fruitchain_obs.Clock)
+     propagates its effect virally — that is what catches alias
+     laundering.
+   - [raises_suppressed] — origin-site suppression for Raises: an
+     occurrence under a "fruitlint: allow R10" comment does not seed
+     Raises (used for invariant guards that are unreachable by
+     construction).
+
+   Witnesses: the first occurrence that hands a bit to a binding is
+   recorded, once, per (binding, bit).  Because a witness target already
+   held the bit when it was recorded, witness chains are acyclic, and
+   rendering one yields the effect path the diagnostics print:
+
+     lib/sim/engine.ml:41 (step) -> lib/obs/clock.ml:3 (now_s) -> Unix.gettimeofday
+
+   Guarded occurrences (syntactically under a [try] body) do not
+   propagate Raises — handlers are assumed exhaustive, a documented
+   soundness caveat (DESIGN.md section 13). *)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice. *)
+
+let eff_rng = 1
+let eff_clock = 2
+let eff_io = 4
+let eff_domain = 8
+let eff_raises = 16
+let eff_mut = 32
+let nbits = 6
+
+let bit_index = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | 16 -> 4
+  | 32 -> 5
+  | _ -> invalid_arg "Effects.bit_index"
+
+let all_bits = [ eff_rng; eff_clock; eff_io; eff_domain; eff_raises; eff_mut ]
+
+let bit_name = function
+  | 1 -> "Rng"
+  | 2 -> "Clock"
+  | 4 -> "Io"
+  | 8 -> "DomainPrim"
+  | 16 -> "Raises"
+  | 32 -> "MutGlobal"
+  | _ -> "?"
+
+let mask_names m =
+  all_bits |> List.filter (fun b -> m land b <> 0) |> List.map bit_name
+
+(* ------------------------------------------------------------------ *)
+(* Primitive classifiers — the seeds.  These agree with the per-file
+   rules R1/R5/R6/R7 plus a curated list of partial stdlib functions for
+   Raises.  Unresolved identifiers that are not recognised here are
+   assumed pure (no typing pass: we cannot do better). *)
+
+let prim_effects path =
+  match Graph.strip_stdlib path with
+  | "Random" :: _ -> eff_rng
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] -> eff_rng
+  | [ "Unix"; ("gettimeofday" | "time" | "gmtime" | "localtime" | "mktime" | "clock") ] ->
+      eff_clock
+  | [ "Sys"; "time" ] -> eff_clock
+  | "Unix" :: _ -> eff_io (* any other Unix call is ambient system state *)
+  | [ ("open_in" | "open_in_bin" | "open_in_gen") ] -> eff_io
+  | "In_channel" :: _ -> eff_io
+  | [ "Sys"; ("getenv" | "getenv_opt" | "readdir" | "command" | "getcwd") ] -> eff_io
+  | ("Domain" | "Atomic" | "Mutex" | "Condition") :: _ -> eff_domain
+  | [ ("failwith" | "invalid_arg" | "raise" | "raise_notrace" | "exit") ] -> eff_raises
+  | [ "Option"; "get" ]
+  | [ "List"; ("hd" | "tl" | "nth" | "find" | "assoc") ]
+  | [ "Hashtbl"; "find" ] ->
+      eff_raises
+  | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Analysis configuration and results. *)
+
+type rule_id = R8 | R9 | R10
+
+type config = {
+  absorbs : string -> int;
+      (** Mask of effects that do not propagate out of references to the
+          named binding/module (matched on qualified-name prefix by the
+          caller). *)
+  r8_exempt : string -> bool;
+      (** Bindings inside blessed capability modules: they hold effects
+          by design and are never flagged by R8. *)
+  r8_scope : string -> bool;  (** Files where R8 applies (lib/). *)
+  r9_scope : string -> bool;  (** Files where R9 pool sites are checked. *)
+  r10_entry : string -> bool;  (** R3's entry files (validate/extract). *)
+  raises_suppressed : file:string -> line:int -> bool;
+      (** Origin-site suppression: occurrences on these lines do not seed
+          or transmit Raises. *)
+}
+
+type finding = {
+  f_rule : rule_id;
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_msg : string;
+  f_path : string list;  (** rendered effect-path steps, origin first *)
+}
+
+type result = {
+  findings : finding list;
+  seed_suppressions : int;
+      (** occurrences whose Raises transmission was silenced by an
+          origin-site "allow R10" comment *)
+  defs_analyzed : int;
+  rounds : int;  (** fixpoint iterations until stable (termination gauge) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint. *)
+
+type via = V_prim of string | V_def of int | V_mod of int
+
+type witness = { w_via : via; w_line : int }
+
+let analyze cfg (g : Graph.t) =
+  let nd = Array.length g.g_defs and nm = Array.length g.g_mods in
+  let eff = Array.make nd 0 and meff = Array.make nm 0 in
+  let wit = Array.make_matrix nd nbits None in
+  let mwit = Array.make_matrix nm nbits None in
+  (* Incoming effect mask and witness target for one occurrence, given
+     current state.  [absorbs] is keyed on the target's qualified name. *)
+  let occ_incoming ~file (o : Graph.occ) =
+    let raw, via =
+      match (o.o_target, o.o_lid) with
+      | Some (Graph.T_def i), _ ->
+          let t = g.g_defs.(i) in
+          (eff.(i) land lnot (cfg.absorbs t.d_name), V_def i)
+      | Some (Graph.T_mod i), _ ->
+          let m = g.g_mods.(i) in
+          (meff.(i) land lnot (cfg.absorbs m.m_name), V_mod i)
+      | None, Some lid ->
+          let p = Graph.flatten lid in
+          (prim_effects p, V_prim (String.concat "." p))
+      | None, None -> (eff_raises, V_prim "assert")
+    in
+    let raw =
+      if raw land eff_raises = 0 then raw
+      else if o.o_guarded then raw land lnot eff_raises
+      else if cfg.raises_suppressed ~file ~line:o.o_line then raw land lnot eff_raises
+      else raw
+    in
+    (raw, via)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > 4 * nbits + 8 then
+      (* A monotone six-bit lattice over a fixed graph must stabilise long
+         before this; bail out rather than loop on an engine bug. *)
+      raise (Failure "Effects.analyze: fixpoint failed to stabilise");
+    Array.iter
+      (fun (d : Graph.def) ->
+        let acquire bits line via =
+          let fresh = bits land lnot eff.(d.d_id) in
+          if fresh <> 0 then begin
+            eff.(d.d_id) <- eff.(d.d_id) lor fresh;
+            List.iter
+              (fun b ->
+                if fresh land b <> 0 then
+                  wit.(d.d_id).(bit_index b) <- Some { w_via = via; w_line = line })
+              all_bits;
+            changed := true
+          end
+        in
+        if d.d_mut_alloc && d.d_mutated && not d.d_in_functor then
+          acquire eff_mut d.d_line (V_prim "top-level mutable state");
+        List.iter
+          (fun (o : Graph.occ) ->
+            let bits, via = occ_incoming ~file:d.d_file o in
+            acquire bits o.o_line via)
+          d.d_occs)
+      g.g_defs;
+    (* A module's conservative effect: union over its values, submodules,
+       includes, alias/functor targets and functor-argument occurrences.
+       Used when resolution stops at an opaque boundary (functor
+       application, first-class module). *)
+    Array.iter
+      (fun (m : Graph.mnode) ->
+        let acquire bits line via =
+          let fresh = bits land lnot meff.(m.m_id) in
+          if fresh <> 0 then begin
+            meff.(m.m_id) <- meff.(m.m_id) lor fresh;
+            List.iter
+              (fun b ->
+                if fresh land b <> 0 then
+                  mwit.(m.m_id).(bit_index b) <- Some { w_via = via; w_line = line })
+              all_bits;
+            changed := true
+          end
+        in
+        Hashtbl.iter (fun _ i -> acquire eff.(i) g.g_defs.(i).d_line (V_def i)) m.m_values;
+        Hashtbl.iter
+          (fun _ i ->
+            let sub = g.g_mods.(i) in
+            acquire (meff.(i) land lnot (cfg.absorbs sub.m_name)) sub.m_line (V_mod i))
+          m.m_mods;
+        List.iter
+          (fun i ->
+            let inc = g.g_mods.(i) in
+            acquire (meff.(i) land lnot (cfg.absorbs inc.m_name)) m.m_line (V_mod i))
+          m.m_includes;
+        (match m.m_alias_target with
+        | Some i ->
+            let t = g.g_mods.(i) in
+            acquire (meff.(i) land lnot (cfg.absorbs t.m_name)) m.m_line (V_mod i)
+        | None -> ());
+        (match m.m_func_target with
+        | Some i -> acquire meff.(i) m.m_line (V_mod i)
+        | None -> ());
+        List.iter
+          (fun (o : Graph.occ) ->
+            let bits, via = occ_incoming ~file:m.m_file o in
+            acquire bits (if o.o_line > 0 then o.o_line else m.m_line) via)
+          m.m_occs)
+      g.g_mods
+  done;
+  (* ---------------------------------------------------------------- *)
+  (* Count origin-site suppressions that actually silenced a Raises
+     transmission (post-fixpoint, so def-target effects are final). *)
+  let seed_suppressions = ref 0 in
+  let count_occs file occs =
+    List.iter
+      (fun (o : Graph.occ) ->
+        if (not o.o_guarded) && cfg.raises_suppressed ~file ~line:o.o_line then begin
+          let raw =
+            match (o.o_target, o.o_lid) with
+            | Some (Graph.T_def i), _ -> eff.(i) land lnot (cfg.absorbs g.g_defs.(i).d_name)
+            | Some (Graph.T_mod i), _ -> meff.(i) land lnot (cfg.absorbs g.g_mods.(i).m_name)
+            | None, Some lid -> prim_effects (Graph.flatten lid)
+            | None, None -> eff_raises
+          in
+          if raw land eff_raises <> 0 then incr seed_suppressions
+        end)
+      occs
+  in
+  Array.iter (fun (d : Graph.def) -> count_occs d.d_file d.d_occs) g.g_defs;
+  Array.iter (fun (m : Graph.mnode) -> count_occs m.m_file m.m_occs) g.g_mods;
+  (* ---------------------------------------------------------------- *)
+  (* Path rendering: follow witnesses from a node to the primitive. *)
+  let short name =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let render_from start_kind start_id b =
+    let buf = ref [] in
+    let push s = buf := s :: !buf in
+    let rec go_def id depth =
+      let d = g.g_defs.(id) in
+      match wit.(id).(bit_index b) with
+      | None -> push (Printf.sprintf "%s:%d (%s)" d.d_file d.d_line (short d.d_name))
+      | Some w ->
+          push (Printf.sprintf "%s:%d (%s)" d.d_file w.w_line (short d.d_name));
+          follow w depth
+    and go_mod id depth =
+      let m = g.g_mods.(id) in
+      match mwit.(id).(bit_index b) with
+      | None -> push (Printf.sprintf "%s:%d (module %s)" m.m_file m.m_line (short m.m_name))
+      | Some w ->
+          push (Printf.sprintf "%s:%d (module %s)" m.m_file w.w_line (short m.m_name));
+          follow w depth
+    and follow w depth =
+      if depth > 64 then push "..."
+      else
+        match w.w_via with
+        | V_prim s -> push s
+        | V_def i -> go_def i (depth + 1)
+        | V_mod i -> go_mod i (depth + 1)
+    in
+    (match start_kind with `Def -> go_def start_id 0 | `Mod -> go_mod start_id 0);
+    List.rev !buf
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Rules. *)
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  (* R8: effect confinement.  Flag the first *interprocedural* carrier on
+     each path from a primitive: a binding whose witness is another
+     binding or module (a direct primitive occurrence is the per-file
+     rules' territory — R1/R5/R6/R7 already point at that exact line).
+     Only one binding per laundering chain is reported, so a justified
+     suppression at the origin covers its callers.  [reported] recurses
+     along the witness chain, which is acyclic by construction. *)
+  let r8_bits =
+    [
+      (eff_rng, "route randomness through Fruitchain_util.Rng split streams");
+      (eff_clock, "route time telemetry through Fruitchain_obs.Clock at the call site that owns it");
+      (eff_io, "pass contents in explicitly or extend Fruitchain_scenario.Loader");
+      (eff_domain, "express parallel work as index-seeded units run by Fruitchain_util.Pool");
+    ]
+  in
+  let r8_carrier id b =
+    let d = g.g_defs.(id) in
+    eff.(id) land b <> 0 && cfg.r8_scope d.d_file && not (cfg.r8_exempt d.d_name)
+  in
+  (* [r8_reported id b]: flag iff the witness is an interprocedural hop
+     and nothing upstream on the witness chain is already flagged.
+     [covered id b]: the chain from [id] upward (inclusive) yields a
+     report somewhere.  Witness chains are acyclic, so both terminate. *)
+  let covered_memo = Hashtbl.create 64 in
+  let rec r8_reported id b =
+    r8_carrier id b
+    &&
+    match wit.(id).(bit_index b) with
+    | Some { w_via = V_prim _; _ } | None -> false
+    | Some { w_via = V_mod _; _ } -> true
+    | Some { w_via = V_def j; _ } -> not (covered j b)
+  and covered id b =
+    match Hashtbl.find_opt covered_memo (id, b) with
+    | Some v -> v
+    | None ->
+        let v =
+          r8_reported id b
+          ||
+          match wit.(id).(bit_index b) with
+          | Some { w_via = V_def j; _ } -> covered j b
+          | _ -> false
+        in
+        Hashtbl.replace covered_memo (id, b) v;
+        v
+  in
+  Array.iter
+    (fun (d : Graph.def) ->
+      List.iter
+        (fun (b, advice) ->
+          if r8_reported d.d_id b then
+            emit
+              {
+                f_rule = R8;
+                f_file = d.d_file;
+                f_line = d.d_line;
+                f_col = d.d_col;
+                f_msg =
+                  Printf.sprintf
+                    "%s transitively reaches effect %s outside the blessed capability modules; %s"
+                    (short d.d_name) (bit_name b) advice;
+                f_path = render_from `Def d.d_id b;
+              })
+        r8_bits)
+    g.g_defs;
+  (* R9: static race detection at pool fan-out sites.  Any value captured
+     by a work-unit argument that transitively reaches mutated top-level
+     state is schedule-dependent shared state. *)
+  List.iter
+    (fun (p : Graph.pool_site) ->
+      if cfg.r9_scope p.p_file then begin
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (o : Graph.occ) ->
+            match o.o_target with
+            | Some (Graph.T_def i) when not (Hashtbl.mem seen i) ->
+                let t = g.g_defs.(i) in
+                if eff.(i) land eff_mut land lnot (cfg.absorbs t.d_name) <> 0 then begin
+                  Hashtbl.replace seen i ();
+                  emit
+                    {
+                      f_rule = R9;
+                      f_file = p.p_file;
+                      f_line = o.o_line;
+                      f_col = o.o_col;
+                      f_msg =
+                        Printf.sprintf
+                          "work unit passed to %s captures %s, which reaches mutated top-level state; results become schedule-dependent — pass explicit per-run state instead"
+                          p.p_callee (short t.d_name);
+                      f_path = render_from `Def i eff_mut;
+                    }
+                end
+            | _ -> ())
+          p.p_captured
+      end)
+    g.g_pool_sites;
+  (* R10: transitive totality.  Every top-level binding in an R3 entry
+     file must be Raises-free after guard absorption and origin-site
+     suppression. *)
+  Array.iter
+    (fun (d : Graph.def) ->
+      if cfg.r10_entry d.d_file && eff.(d.d_id) land eff_raises <> 0 then
+        emit
+          {
+            f_rule = R10;
+            f_file = d.d_file;
+            f_line = d.d_line;
+            f_col = d.d_col;
+            f_msg =
+              Printf.sprintf
+                "%s can raise through its call chain; total-validation entry points must return [result] all the way down"
+                (short d.d_name);
+            f_path = render_from `Def d.d_id eff_raises;
+          })
+    g.g_defs;
+  {
+    findings = List.rev !findings;
+    seed_suppressions = !seed_suppressions;
+    defs_analyzed = nd;
+    rounds = !rounds;
+  }

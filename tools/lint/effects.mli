@@ -1,0 +1,73 @@
+(** Interprocedural effect inference over {!Graph}, and the three
+    whole-program rules R8 (effect confinement), R9 (static pool races)
+    and R10 (transitive totality).
+
+    Effects form a six-bit lattice ({!eff_rng} … {!eff_mut}); seeds come
+    from syntactic primitive classifiers agreeing with R1/R5/R6/R7 plus a
+    curated partial-stdlib list for [Raises].  Propagation is a monotone
+    fixpoint; policy (blessed capability modules, rule scoping,
+    origin-site suppression) is injected via {!config} so this module
+    stays policy-free. *)
+
+val eff_rng : int
+val eff_clock : int
+val eff_io : int
+val eff_domain : int
+val eff_raises : int
+val eff_mut : int
+
+val bit_name : int -> string
+(** ["Rng"], ["Clock"], ["Io"], ["DomainPrim"], ["Raises"],
+    ["MutGlobal"]. *)
+
+val mask_names : int -> string list
+(** Names of the bits set in a mask, in lattice order. *)
+
+val prim_effects : string list -> int
+(** Effect mask of an unresolved qualified identifier (already
+    flattened); [0] when unrecognised — unknown names are assumed
+    pure. *)
+
+type rule_id = R8 | R9 | R10
+
+type config = {
+  absorbs : string -> int;
+      (** Mask of effects that do NOT propagate out of references to the
+          named binding/module — the blessed capability entry points. *)
+  r8_exempt : string -> bool;
+      (** Bindings inside capability modules: they hold effects by design
+          and are never flagged by R8. *)
+  r8_scope : string -> bool;  (** Files where R8 applies (lib/). *)
+  r9_scope : string -> bool;  (** Files where pool sites are checked. *)
+  r10_entry : string -> bool;  (** R3's entry files (validate/extract). *)
+  raises_suppressed : file:string -> line:int -> bool;
+      (** Origin-site suppression: occurrences on these lines neither seed
+          nor transmit [Raises]. *)
+}
+
+type finding = {
+  f_rule : rule_id;
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_msg : string;
+  f_path : string list;
+      (** rendered effect-path steps, flagged binding first, primitive
+          last: [["lib/a.ml:12 (now)"; "lib/obs/clock.ml:3 (now_s)";
+          "Unix.gettimeofday"]] *)
+}
+
+type result = {
+  findings : finding list;
+  seed_suppressions : int;
+      (** occurrences whose [Raises] transmission was silenced by an
+          origin-site ["allow R10"] comment *)
+  defs_analyzed : int;
+  rounds : int;  (** fixpoint iterations until stable *)
+}
+
+val analyze : config -> Graph.t -> result
+(** Run the fixpoint and evaluate R8–R10.  R8 flags only the {e origin}
+    binding of each effect path (the first non-exempt in-scope binding
+    reached from the primitive), so one laundering site yields one
+    diagnostic and a justified suppression there covers its callers. *)

@@ -29,12 +29,34 @@
          explicit arguments, not of ambient files, so a grep of two files
          audits every input path.
 
-   Suppression: a comment containing "fruitlint: allow R<n> [R<m> ...]"
-   silences those rules on its own line and on the following line. *)
+   Whole-program rules, run on the interprocedural effect fixpoint
+   (Graph + Effects) rather than per file:
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+     R8  effect confinement: a binding under lib/ outside the blessed
+         capability modules may not transitively reach Rng/Clock/Io/
+         DomainPrim — aliasing a primitive through helper modules
+         ("effect laundering") is flagged at the origin binding, with the
+         effect path to the primitive printed in the diagnostic.
+     R9  static race detection: a closure flowing into a deterministic
+         pool fan-out (Pool.map/map_list, Runs.run_parallel) that
+         captures a binding reaching mutated top-level state is flagged —
+         schedule-dependent shared state breaks jobs-invariance in ways
+         the determinism harness can only catch probabilistically.
+     R10 transitive totality: R3's no-raise guarantee extended through
+         the call graph — every binding in validate.ml/extract.ml must be
+         Raises-free after try-absorption, however deep the raising
+         callee.
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+   Suppression: a comment containing "fruitlint: allow R<n>[, R<m> ...]"
+   silences those rules on its own line and on the following line;
+   "fruitlint: allow-file R<n>[, R<m> ...]" silences them for the whole
+   file.  For R10 an allow comment at the raising occurrence suppresses
+   at the origin: that occurrence stops transmitting Raises, so every
+   entry point reached through it is covered by the one justification. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -44,6 +66,9 @@ let rule_name = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_of_string = function
   | "R1" -> Some R1
@@ -53,12 +78,40 @@ let rule_of_string = function
   | "R5" -> Some R5
   | "R6" -> Some R6
   | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
 
-type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+(* One-line rule documentation, used by the SARIF emitter's rule
+   metadata and by --help. *)
+let rule_doc = function
+  | R1 -> "determinism: all randomness flows through Fruitchain_util.Rng split streams"
+  | R2 -> "no polymorphic compare/equality in lib/chain, lib/crypto, lib/core, lib/net"
+  | R3 -> "total validation: no raise forms in lib/chain/validate.ml and lib/core/extract.ml"
+  | R4 -> "interface completeness: every .ml under lib/ has a matching .mli"
+  | R5 -> "concurrency confinement: Domain/Atomic/Mutex/Condition only in lib/util/pool.ml"
+  | R6 -> "clock confinement: wall-clock reads only in lib/obs/clock.ml"
+  | R7 -> "input confinement: file reads only in the scenario loader and the chain snapshot store"
+  | R8 -> "effect confinement: no transitive Rng/Clock/Io/DomainPrim outside the blessed capability modules"
+  | R9 -> "static race detection: pool work units must not capture mutated top-level state"
+  | R10 -> "transitive totality: validation entry points are raise-free through their whole call chain"
+
+type diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+  notes : string list;
+      (* effect-path steps for interprocedural diagnostics, origin first *)
+}
 
 let pp_diag fmt d =
-  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_name d.rule) d.msg
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_name d.rule) d.msg;
+  match d.notes with
+  | [] -> ()
+  | ns -> Format.fprintf fmt "\n    path: %s" (String.concat " -> " ns)
 
 let compare_diag a b =
   let c = String.compare a.file b.file in
@@ -149,20 +202,39 @@ let r7_applies path =
   && not (List.exists (fun a -> contains_sublist a cs) r7_allowlist)
 
 (* ------------------------------------------------------------------ *)
-(* Suppression comments.  [suppressions content] maps a (line, rule) pair
-   to [true] when a "fruitlint: allow ..." comment covers it.  A comment
-   covers its own line and the next line, so both trailing and preceding
-   placements work. *)
+(* Suppression comments.  Two forms:
+
+     fruitlint: allow R<n>[, R<m> ...]       — covers its own line and the
+                                               next line
+     fruitlint: allow-file R<n>[, R<m> ...]  — covers the whole file
+
+   Rule lists may be separated by spaces or commas (a trailing comma used
+   to stop the parser at "R1," and silently suppress nothing after it). *)
 
 let marker = "fruitlint: allow"
+let file_marker_suffix = "-file"
+
+type suppr = {
+  s_lines : (int * string, unit) Hashtbl.t; (* (line, rule name) *)
+  s_file : (string, unit) Hashtbl.t; (* rule name *)
+}
+
+let empty_suppr = { s_lines = Hashtbl.create 1; s_file = Hashtbl.create 1 }
+
+let suppr_mem s ~line rule =
+  let n = rule_name rule in
+  Hashtbl.mem s.s_file n || Hashtbl.mem s.s_lines (line, n)
 
 let find_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = if i + nn > nh then None else if String.equal (String.sub hay i nn) needle then Some i else go (i + 1) in
   go 0
 
+let has_prefix_str p s =
+  String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+
 let suppressions content =
-  let tbl = Hashtbl.create 8 in
+  let s = { s_lines = Hashtbl.create 8; s_file = Hashtbl.create 4 } in
   let lines = String.split_on_char '\n' content in
   List.iteri
     (fun i line ->
@@ -170,11 +242,21 @@ let suppressions content =
       | None -> ()
       | Some at ->
           let rest = String.sub line (at + String.length marker) (String.length line - at - String.length marker) in
+          (* "fruitlint: allow" is a prefix of "fruitlint: allow-file";
+             disambiguate on what follows the shared marker. *)
+          let file_scoped = has_prefix_str file_marker_suffix rest in
+          let rest =
+            if file_scoped then
+              String.sub rest (String.length file_marker_suffix)
+                (String.length rest - String.length file_marker_suffix)
+            else rest
+          in
           let tokens =
             String.split_on_char ' ' rest
+            |> List.concat_map (String.split_on_char ',')
             |> List.concat_map (String.split_on_char '*')
             |> List.concat_map (String.split_on_char ')')
-            |> List.filter (fun s -> not (String.equal s ""))
+            |> List.filter (fun tok -> not (String.equal tok ""))
           in
           (* Stop at the first token that is not a rule id, so prose after
              the rule list does not accidentally widen the suppression. *)
@@ -183,14 +265,18 @@ let suppressions content =
             | t :: tl -> (
                 match rule_of_string t with
                 | Some r ->
-                    Hashtbl.replace tbl (i + 1, r) ();
-                    Hashtbl.replace tbl (i + 2, r) ();
+                    let n = rule_name r in
+                    if file_scoped then Hashtbl.replace s.s_file n ()
+                    else begin
+                      Hashtbl.replace s.s_lines (i + 1, n) ();
+                      Hashtbl.replace s.s_lines (i + 2, n) ()
+                    end;
                     add tl
                 | None -> ())
           in
           add tokens)
     lines;
-  tbl
+  s
 
 (* ------------------------------------------------------------------ *)
 (* Identifier classification.  We work purely syntactically: a qualified
@@ -274,7 +360,9 @@ let lint_structure ~path ~only structure =
   let r7 = enabled R7 && r7_applies path in
   let push (loc : Location.t) rule msg =
     let p = loc.loc_start in
-    diags := { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: !diags
+    diags :=
+      { file = path; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg; notes = [] }
+      :: !diags
   in
   let check_ident loc lid =
     if r1 then Option.iter (push loc R1) (r1_violation lid);
@@ -307,6 +395,54 @@ let lint_structure ~path ~only structure =
   iter.structure iter structure;
   !diags
 
+(* ------------------------------------------------------------------ *)
+(* Capability policy for the whole-program rules.  Two kinds of blessed
+   module:
+
+   - absorbers: the sanctioned entry points for an effect.  References to
+     them contribute nothing for the absorbed bits — calling
+     [Fruitchain_util.Rng.split] is how a caller is *supposed* to hold
+     randomness, so the Rng effect stops there.  Rng and Pool also absorb
+     MutGlobal (their internal state is the blessed implementation of the
+     capability, not shared simulation state).
+   - carriers: [Fruitchain_obs.Clock] may hold the Clock effect but does
+     NOT absorb it — every reference propagates Clock virally, so an
+     alias chain ([let now = Clock.now_s] re-exported from a helper) is
+     flagged by R8 at the first non-blessed binding, which the old
+     per-file pass could not see.  lib/ has no legitimate clock readers;
+     bench/bin are outside R8's scope and may time things. *)
+
+let capability_absorbers =
+  [
+    ("Fruitchain_util.Rng", Effects.eff_rng lor Effects.eff_mut);
+    ("Fruitchain_util.Pool", Effects.eff_domain lor Effects.eff_mut);
+    ("Fruitchain_scenario.Loader", Effects.eff_io);
+    ("Fruitchain_chain.Snapshot", Effects.eff_io);
+  ]
+
+let capability_carriers = [ "Fruitchain_obs.Clock" ]
+
+(* [name_under "A.B" "A.B.c"] — prefix match on '.'-boundaries only. *)
+let name_under prefix name =
+  let np = String.length prefix and nn = String.length name in
+  nn >= np
+  && String.equal (String.sub name 0 np) prefix
+  && (Int.equal nn np || Char.equal name.[np] '.')
+
+let absorbs name =
+  List.fold_left
+    (fun acc (p, m) -> if name_under p name then acc lor m else acc)
+    0 capability_absorbers
+
+let r8_exempt name =
+  List.exists (fun (p, _) -> name_under p name) capability_absorbers
+  || List.exists (fun p -> name_under p name) capability_carriers
+
+let r8_applies path = contains_sublist [ "lib" ] (components path)
+let r10_applies = r3_applies
+
+(* ------------------------------------------------------------------ *)
+
 let parse_with ~path parse content =
   let lexbuf = Lexing.from_string content in
   Lexing.set_filename lexbuf path;
@@ -319,20 +455,70 @@ let parse_with ~path parse content =
     in
     raise (Lint_error (Printf.sprintf "%s: parse error: %s" path msg))
 
+(* ------------------------------------------------------------------ *)
+(* Whole-program pass: build the def/use graph over every parsed unit,
+   run the effect fixpoint, and translate R8/R9/R10 findings into diags.
+   [suppr_of] feeds origin-site R10 suppression into effect seeding. *)
+
+let rule_enabled only r =
+  List.exists (fun r' -> String.equal (rule_name r) (rule_name r')) only
+
+let interproc ~only units suppr_of =
+  if
+    (match units with [] -> true | _ -> false)
+    || not (List.exists (rule_enabled only) [ R8; R9; R10 ])
+  then ([], 0)
+  else begin
+    let g = Graph.build units in
+    let cfg =
+      {
+        Effects.absorbs;
+        r8_exempt;
+        r8_scope = r8_applies;
+        r9_scope = (fun _ -> true);
+        r10_entry = r10_applies;
+        raises_suppressed = (fun ~file ~line -> suppr_mem (suppr_of file) ~line R10);
+      }
+    in
+    let res = Effects.analyze cfg g in
+    let diags =
+      List.filter_map
+        (fun (f : Effects.finding) ->
+          let rule =
+            match f.f_rule with Effects.R8 -> R8 | Effects.R9 -> R9 | Effects.R10 -> R10
+          in
+          if rule_enabled only rule then
+            Some
+              {
+                file = f.f_file;
+                line = f.f_line;
+                col = f.f_col;
+                rule;
+                msg = f.f_msg;
+                notes = f.f_path;
+              }
+          else None)
+        res.findings
+    in
+    (diags, res.seed_suppressions)
+  end
+
 let lint_source ?(only = all_rules) ~path content =
-  let raw =
-    if Filename.check_suffix path ".mli" then begin
-      (* Interfaces carry no expressions; parsing validates the syntax and
-         keeps the CLI honest about having visited every file. *)
-      ignore (parse_with ~path Parse.interface content);
-      []
-    end
-    else lint_structure ~path ~only (parse_with ~path Parse.implementation content)
-  in
-  let suppr = suppressions content in
-  raw
-  |> List.filter (fun d -> not (Hashtbl.mem suppr (d.line, d.rule)))
-  |> List.sort compare_diag
+  if Filename.check_suffix path ".mli" then begin
+    (* Interfaces carry no expressions; parsing validates the syntax and
+       keeps the CLI honest about having visited every file. *)
+    ignore (parse_with ~path Parse.interface content);
+    []
+  end
+  else begin
+    let str = parse_with ~path Parse.implementation content in
+    let suppr = suppressions content in
+    let per_file = lint_structure ~path ~only str in
+    let inter, _ = interproc ~only [ (path, str) ] (fun _ -> suppr) in
+    per_file @ inter
+    |> List.filter (fun d -> not (suppr_mem suppr ~line:d.line d.rule))
+    |> List.sort compare_diag
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Filesystem driver. *)
@@ -365,16 +551,54 @@ let missing_interface path =
   && r4_applies path
   && not (Sys.file_exists (Filename.chop_suffix path ".ml" ^ ".mli"))
 
-let lint_files ?(only = all_rules) paths =
+type report = {
+  diags : diag list;
+  suppressed : int; (* diagnostics silenced by allow/allow-file comments *)
+  seed_suppressions : int; (* R10 origins silenced at the raising occurrence *)
+  files_scanned : int;
+}
+
+let lint_files_report ?(only = all_rules) paths =
   let files = List.fold_left collect [] paths |> List.sort String.compare in
-  let r4_enabled = List.exists (fun r -> String.equal (rule_name r) "R4") only in
-  List.concat_map
-    (fun file ->
-      let content_diags = lint_source ~only ~path:file (read_file file) in
-      if r4_enabled && missing_interface file then
-        { file; line = 1; col = 0; rule = R4;
-          msg = "missing interface: every .ml under lib/ must have a matching .mli" }
-        :: content_diags
-      else content_diags)
-    files
-  |> List.sort compare_diag
+  let r4_enabled = rule_enabled only R4 in
+  let supprs : (string, suppr) Hashtbl.t = Hashtbl.create 64 in
+  let suppr_of file =
+    match Hashtbl.find_opt supprs file with Some s -> s | None -> empty_suppr
+  in
+  let units = ref [] in
+  let raw =
+    List.concat_map
+      (fun file ->
+        let content = read_file file in
+        Hashtbl.replace supprs file (suppressions content);
+        if Filename.check_suffix file ".mli" then begin
+          ignore (parse_with ~path:file Parse.interface content);
+          []
+        end
+        else begin
+          let str = parse_with ~path:file Parse.implementation content in
+          units := (file, str) :: !units;
+          let ds = lint_structure ~path:file ~only str in
+          if r4_enabled && missing_interface file then
+            { file; line = 1; col = 0; rule = R4;
+              msg = "missing interface: every .ml under lib/ must have a matching .mli";
+              notes = [] }
+            :: ds
+          else ds
+        end)
+      files
+  in
+  let inter, seed_suppressions = interproc ~only (List.rev !units) suppr_of in
+  let kept, dropped =
+    List.partition
+      (fun d -> not (suppr_mem (suppr_of d.file) ~line:d.line d.rule))
+      (raw @ inter)
+  in
+  {
+    diags = List.sort compare_diag kept;
+    suppressed = List.length dropped;
+    seed_suppressions;
+    files_scanned = List.length files;
+  }
+
+let lint_files ?(only = all_rules) paths = (lint_files_report ~only paths).diags

@@ -23,19 +23,52 @@
       [lib/chain/snapshot.ml] — library results must be functions of
       explicit arguments, not of ambient files.
 
-    A comment containing ["fruitlint: allow R<n> [R<m> ...]"] suppresses
-    those rules on its own line and on the following line. *)
+    On top of the per-file rules, three whole-program rules run on an
+    interprocedural effect fixpoint ({!Graph} + {!Effects}):
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+    - {b R8} effect confinement: a binding under [lib/] outside the
+      blessed capability modules may not transitively reach
+      Rng/Clock/Io/DomainPrim; laundering an effect through aliases,
+      [include]s or helper wrappers is flagged at the origin binding with
+      the effect path printed in the diagnostic.
+    - {b R9} static race detection: closures flowing into pool fan-outs
+      ([Pool.map]/[map_list], [Runs.run_parallel]) must not capture
+      bindings that reach mutated top-level state.
+    - {b R10} transitive totality: R3's no-raise guarantee extended
+      through the whole call graph from the validate/extract entry
+      points.
+
+    A comment containing ["fruitlint: allow R<n>[, R<m> ...]"] suppresses
+    those rules on its own line and on the following line;
+    ["fruitlint: allow-file R<n>[, R<m> ...]"] suppresses them for the
+    whole file.  For R10, an allow comment at the raising occurrence
+    suppresses at the origin: that occurrence stops transmitting
+    [Raises], covering every entry point reached through it. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 val all_rules : rule list
 val rule_name : rule -> string
 val rule_of_string : string -> rule option
 
-type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+val rule_doc : rule -> string
+(** One-line rule description (used for SARIF rule metadata). *)
+
+type diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+  notes : string list;
+      (** effect-path steps for R8–R10 diagnostics, origin first,
+          primitive last; [[]] for per-file rules *)
+}
 
 val pp_diag : Format.formatter -> diag -> unit
-(** Machine-readable ["file:line:col: [R] message"]. *)
+(** Machine-readable ["file:line:col: [R] message"], followed by an
+    indented ["path: a -> b -> c"] line when the diagnostic carries an
+    effect path. *)
 
 val compare_diag : diag -> diag -> int
 
@@ -47,10 +80,27 @@ val lint_source : ?only:rule list -> path:string -> string -> diag list
     string.  [path] determines which rules apply (scoping is by path
     components, so ["fixtures/lib/chain/x.ml"] is scoped like
     ["lib/chain/x.ml"]).  [.mli] sources are parsed for validity only.
-    R4 is not checked here (it needs the filesystem); use {!lint_files}. *)
+    R4 is not checked here (it needs the filesystem); use {!lint_files}.
+    R8–R10 run on a single-unit graph: effects visible within the file
+    are inferred, but cross-file references cannot resolve. *)
+
+type report = {
+  diags : diag list;
+  suppressed : int;
+      (** diagnostics silenced by allow/allow-file comments *)
+  seed_suppressions : int;
+      (** R10 origins silenced at the raising occurrence *)
+  files_scanned : int;
+}
+
+val lint_files_report : ?only:rule list -> string list -> report
+(** [lint_files_report paths] walks files and directories (skipping
+    [_build] and dot-directories), lints every [.ml]/[.mli] with the
+    per-file rules, checks R4 for [.ml] files under a [lib] path
+    component, then builds the whole-program graph over every parsed unit
+    and runs R8–R10 on the effect fixpoint.  Diags are sorted by file,
+    line, column; suppression counts are reported so the summary can
+    surface how many justifications are in force. *)
 
 val lint_files : ?only:rule list -> string list -> diag list
-(** [lint_files paths] walks files and directories (skipping [_build] and
-    dot-directories), lints every [.ml]/[.mli], and additionally checks R4
-    for [.ml] files under a [lib] path component.  Results are sorted by
-    file, line, column. *)
+(** [lint_files paths] = [(lint_files_report paths).diags]. *)
