@@ -26,6 +26,7 @@ module Registry = Fruitchain_experiments.Registry
 module Runs = Fruitchain_experiments.Runs
 module Config = Fruitchain_sim.Config
 module Engine = Fruitchain_sim.Engine
+module Trace = Fruitchain_sim.Trace
 module Params = Fruitchain_core.Params
 module Oracle = Fruitchain_crypto.Oracle
 module Sha256 = Fruitchain_crypto.Sha256
@@ -256,6 +257,41 @@ let run_tables scale =
   Printf.printf "(all tables took %.1fs wall at %d jobs)\n%!" total (Pool.default_jobs ());
   (timings, total)
 
+(* --- Engine headline ---------------------------------------------------- *)
+
+(* Effective simulated oracle attempts per wall second on each plane. The
+   exact engine's per-query cost is configuration-independent, so it is
+   timed at a size it can finish quickly; the sparse plane is timed at an
+   E22-style population (n = 10⁴, n·p fixed) where its aggregate sampling
+   pays off. The ratio is the speedup headline carried in BENCH.json
+   ("engines") and guarded by tools/bench_check. *)
+let engine_headline () =
+  let time config =
+    let t0 = Clock.now_s () in
+    let trace = Engine.run ~config ~strategy:Runs.honest_coalition () in
+    let wall = Clock.now_s () -. t0 in
+    float_of_int (Trace.oracle_queries trace) /. Float.max 1e-9 wall
+  in
+  let exact =
+    let params = Params.make ~recency_r:4 ~p:0.002 ~pf:0.02 ~kappa:4 () in
+    time
+      (Config.make ~protocol:Config.Fruitchain ~engine:Config.Exact ~n:200 ~rho:0.25
+         ~delta:2 ~rounds:5_000 ~seed:9L ~params ())
+  in
+  let sparse =
+    let n = 10_000 and rounds = 50_000 in
+    let p = 0.01 /. float_of_int n in
+    let params = Params.make ~recency_r:4 ~p ~pf:(50.0 *. p) ~kappa:4 () in
+    time
+      (Config.make ~protocol:Config.Fruitchain ~engine:Config.Sparse ~n ~rho:0.25 ~delta:2
+         ~rounds ~seed:9L ~snapshot_interval:rounds ~head_snapshot_interval:rounds ~params ())
+  in
+  Printf.printf "== engine headline (effective oracle attempts per second) ==\n\n";
+  Printf.printf "exact  (n=200, 5k rounds):    %12.0f events/s\n" exact;
+  Printf.printf "sparse (n=10k, 50k rounds):   %12.0f events/s  (%.0fx)\n\n%!" sparse
+    (sparse /. exact);
+  (exact, sparse)
+
 (* The throughput figure of BENCH.json: instrumented simulator events the
    reproduction performed (oracle queries dominate; deliveries, mints and
    probes ride along). A pure function of the golden counters, so it is
@@ -274,7 +310,8 @@ let events_total m =
       "sim.probes";
     ]
 
-let bench_json ~scale ~jobs ~timings ~total ~registry ~tracer =
+let bench_json ~scale ~jobs ~timings ~total ~engines ~registry ~tracer =
+  let exact_rate, sparse_rate = engines in
   Json.Obj
     [
       ("schema", Json.Str "fruitchains-bench/1");
@@ -296,6 +333,13 @@ let bench_json ~scale ~jobs ~timings ~total ~registry ~tracer =
       ( "events_per_sec",
         Json.Float (if total > 0.0 then float_of_int (events_total registry) /. total else 0.0)
       );
+      ( "engines",
+        Json.Obj
+          [
+            ("exact_events_per_sec", Json.Float exact_rate);
+            ("sparse_events_per_sec", Json.Float sparse_rate);
+            ("speedup", Json.Float (sparse_rate /. Float.max 1e-9 exact_rate));
+          ] );
       ( "trace",
         Json.Obj
           [
@@ -347,6 +391,7 @@ let () =
     Pool.set_scope (Scope.make ~metrics:registry ?tracer ());
     let timings, total = run_tables scale in
     Pool.set_scope Scope.null;
+    let engines = engine_headline () in
     Option.iter Tracer.close tracer;
     Option.iter
       (fun path ->
@@ -359,7 +404,7 @@ let () =
     Option.iter
       (fun path ->
         let jobs = Pool.default_jobs () in
-        let doc = bench_json ~scale ~jobs ~timings ~total ~registry ~tracer in
+        let doc = bench_json ~scale ~jobs ~timings ~total ~engines ~registry ~tracer in
         let oc = open_out path in
         output_string oc (Json.to_string doc);
         output_char oc '\n';

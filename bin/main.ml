@@ -150,6 +150,15 @@ let sim_cmd =
     Arg.(
       value & opt protocol_conv Config.Fruitchain & info [ "protocol" ] ~doc:"nakamoto | fruitchain.")
   in
+  let engine =
+    let engine_conv = Arg.enum [ ("exact", Config.Exact); ("sparse", Config.Sparse) ] in
+    Arg.(
+      value & opt engine_conv Config.Exact
+      & info [ "engine" ]
+          ~doc:
+            "Simulation plane: $(b,exact) (reference, per-party-per-query) or $(b,sparse) \
+             (aggregate win sampling; the adversary strategy is ignored).")
+  in
   let rho = Arg.(value & opt float 0.25 & info [ "rho" ] ~doc:"Corrupt power fraction.") in
   let gamma = Arg.(value & opt float 0.5 & info [ "gamma" ] ~doc:"Selfish-mining tie parameter.") in
   let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of parties.") in
@@ -172,11 +181,12 @@ let sim_cmd =
       & info [ "save-chain" ]
           ~docv:"FILE" ~doc:"Persist the canonical honest chain to $(docv) (see $(b,inspect)).")
   in
-  let run protocol rho gamma n rounds delta seed p q kappa strategy save_chain obs =
+  let run protocol engine rho gamma n rounds delta seed p q kappa strategy save_chain obs =
     with_observability obs @@ fun () ->
     let params = Params.make ~p ~pf:(p *. q) ~kappa () in
     let config =
-      Config.make ~protocol ~n ~rho ~delta ~rounds ~seed ~probe_interval:(rounds / 50) ~params ()
+      Config.make ~protocol ~engine ~n ~rho ~delta ~rounds ~seed
+        ~probe_interval:(rounds / 50) ~params ()
     in
     let strategy =
       match strategy with
@@ -209,8 +219,8 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
-      const run $ protocol $ rho $ gamma $ n $ rounds $ delta $ seed $ p $ q $ kappa $ strategy
-      $ save_chain $ obs_arg)
+      const run $ protocol $ engine $ rho $ gamma $ n $ rounds $ delta $ seed $ p $ q $ kappa
+      $ strategy $ save_chain $ obs_arg)
 
 (* fruitchain inspect FILE *)
 let inspect_cmd =

@@ -190,6 +190,32 @@ let attempt t input =
       end;
       !mask
 
+let charge t n =
+  if n < 0 then invalid_arg "Oracle.charge: negative count";
+  t.queries <- t.queries + n
+
+let sample_win t ~block ~fruit rng =
+  (match t.backend with
+  | Sim _ -> ()
+  | Real -> invalid_arg "Oracle.sample_win: simulation backend only");
+  (* Draw order mirrors {!attempt} for one attempt that already won: block
+     view raw, fruit view raw, then the filler words right-to-left. A win
+     against a zero limit is unencodable (the threshold check would reject
+     the view) — mirror {!attempt} and treat it as a loss. *)
+  let block = block && not (Int64.equal t.block_limit 0L) in
+  let fruit = fruit && not (Int64.equal t.fruit_limit 0L) in
+  Rng.draw rng;
+  let bv = view_of_raw ~limit:t.block_limit ~success:block (Rng.out_hi rng) (Rng.out_lo rng) in
+  Rng.draw rng;
+  let fv = view_of_raw ~limit:t.fruit_limit ~success:fruit (Rng.out_hi rng) (Rng.out_lo rng) in
+  Rng.draw rng;
+  let f2 = Rng.last_bits64 rng in
+  Rng.draw rng;
+  let f1 = Rng.last_bits64 rng in
+  if block then t.block_wins <- t.block_wins + 1;
+  if fruit then t.fruit_wins <- t.fruit_wins + 1;
+  Hash.of_views ~block_view:bv ~fruit_view:fv ~filler:(f1, f2)
+
 let query t input =
   let _mask = attempt t input in
   attempt_hash t

@@ -59,6 +59,25 @@ val attempt_hash : t -> Hash.t
 (** The digest of the most recent {!attempt} (or {!query}) on this oracle.
     Must not be called before the first attempt. *)
 
+val sample_win : t -> block:bool -> fruit:bool -> Fruitchain_util.Rng.t -> Hash.t
+(** [sample_win o ~block ~fruit rng] materializes the digest of an attempt
+    whose mining outcome is already known — the attribution path of the
+    sparse simulation plane, which decides {e how many} attempts won per
+    round from the aggregate binomial and only then forges each winner's
+    digest. Draws four words from [rng] (never from the oracle's own
+    stream) and encodes views that meet exactly the requested difficulties,
+    so unmodified validation accepts the forgery iff it should. Win
+    counters advance; the query counter does not — aggregate accounting
+    goes through {!charge}. A requested win against a zero threshold is
+    unencodable and degrades to a loss, mirroring {!attempt}. Simulation
+    backend only: raises [Invalid_argument] on a {!real} oracle. *)
+
+val charge : t -> int -> unit
+(** [charge o n] adds [n] to the query counter without drawing anything:
+    the sparse plane simulates [n·rounds] per-party attempts with O(wins)
+    RNG draws, and charges the {e effective} attempt count here so that
+    [oracle.queries] means the same thing on both engines. *)
+
 val needs_input : t -> bool
 (** Whether the oracle reads its pre-image at all: [true] for the real
     backend and for memoized simulation, [false] for plain simulation —

@@ -1,0 +1,8 @@
+(** E22: fairness at population scale, on the sparse engine (n up to 10⁵).
+
+    Exposes exactly the {!Exp.EXPERIMENT} contract; sweep parameters and
+    helpers stay private to the implementation. *)
+
+val id : string
+val title : string
+val run : ?scale:Exp.scale -> unit -> Exp.outcome

@@ -21,6 +21,7 @@ let all : (module Exp.EXPERIMENT) list =
     (module E19_partition_consistency);
     (module E20_delay_spike_fairness);
     (module E21_churn_quality);
+    (module E22_sparse_scale);
   ]
 
 let find id =

@@ -5,9 +5,11 @@ module Strategy = Fruitchain_sim.Strategy
 module Params = Fruitchain_core.Params
 module Adversary = Fruitchain_adversary
 
-let config ?(n = Exp.default_n) ?(delta = Exp.default_delta) ?(seed = 1L) ?(probe_interval = 0)
-    ~protocol ~rho ~rounds ~params () =
-  Config.make ~protocol ~n ~rho ~delta ~rounds ~seed ~probe_interval ~params ()
+let config ?engine ?(n = Exp.default_n) ?(delta = Exp.default_delta) ?(seed = 1L)
+    ?(probe_interval = 0) ?snapshot_interval ?head_snapshot_interval ~protocol ~rho ~rounds
+    ~params () =
+  Config.make ?engine ?snapshot_interval ?head_snapshot_interval ~protocol ~n ~rho ~delta
+    ~rounds ~seed ~probe_interval ~params ()
 
 let selfish ~gamma : (module Strategy.S) =
   (module Adversary.Selfish.Make (struct

@@ -7,10 +7,13 @@ module Strategy = Fruitchain_sim.Strategy
 module Params = Fruitchain_core.Params
 
 val config :
-  ?n:int -> ?delta:int -> ?seed:int64 -> ?probe_interval:int ->
+  ?engine:Config.engine -> ?n:int -> ?delta:int -> ?seed:int64 -> ?probe_interval:int ->
+  ?snapshot_interval:int -> ?head_snapshot_interval:int ->
   protocol:Config.protocol -> rho:float -> rounds:int -> params:Params.t -> unit ->
   Config.t
-(** {!Exp} defaults for n and Δ; seed defaults to 1. *)
+(** {!Exp} defaults for n and Δ; seed defaults to 1; engine defaults to
+    [Exact]. Large-n sparse sweeps override the snapshot intervals, whose
+    per-snapshot cost is O(n). *)
 
 val selfish : gamma:float -> (module Strategy.S)
 (** A selfish-mining strategy module with the given γ (fruits broadcast). *)

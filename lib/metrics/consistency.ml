@@ -13,30 +13,54 @@ let measure trace =
   let finals = Trace.final_heads trace in
   let snapshots = Trace.head_snapshots trace in
   let max_pair = ref 0 and max_roll = ref 0 in
+  (* Divergence and rollback depend only on the head {e values}, so work
+     per snapshot is deduplicated to the distinct heads (and distinct
+     (head, final) combinations) rather than the party pairs: honest
+     parties overwhelmingly agree, and the naive O(honest²) pair loop is
+     prohibitive at sparse-plane scales (n = 10⁵). *)
+  let seen_heads : (Types.Hash.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen_rolls : (Types.Hash.t * Types.Hash.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let distinct = ref [] in
   List.iter
     (fun (_round, heads) ->
-      Array.iteri
-        (fun idx i ->
+      Hashtbl.reset seen_heads;
+      Hashtbl.reset seen_rolls;
+      distinct := [];
+      Array.iter
+        (fun i ->
           let head_i = heads.(i) in
-          let h_i = Store.height store head_i in
-          (* Pairwise: compare with every later honest party in this snapshot. *)
-          for jdx = idx + 1 to Array.length honest - 1 do
-            let j = honest.(jdx) in
-            let head_j = heads.(j) in
-            if not (Types.Hash.equal head_i head_j) then begin
-              let common = Store.common_prefix_height store head_i head_j in
-              let divergence = min h_i (Store.height store head_j) - common in
-              if divergence > !max_pair then max_pair := divergence
-            end
-          done;
-          (* Future self-consistency against the party's own final chain. *)
+          if not (Hashtbl.mem seen_heads head_i) then begin
+            Hashtbl.add seen_heads head_i ();
+            distinct := head_i :: !distinct
+          end;
+          (* Future self-consistency against the party's own final chain;
+             one computation per distinct (head, final) value pair. *)
           let final = finals.(i) in
-          if not (Types.Hash.equal head_i final) then begin
+          if
+            (not (Types.Hash.equal head_i final))
+            && not (Hashtbl.mem seen_rolls (head_i, final))
+          then begin
+            Hashtbl.add seen_rolls (head_i, final) ();
             let common = Store.common_prefix_height store head_i final in
-            let rollback = h_i - common in
+            let rollback = Store.height store head_i - common in
             if rollback > !max_roll then max_roll := rollback
           end)
-        honest)
+        honest;
+      (* Pairwise divergence over the distinct head values (first-seen
+         order; the max is order-independent). *)
+      let rec pairs = function
+        | [] -> ()
+        | head_i :: rest ->
+            let h_i = Store.height store head_i in
+            List.iter
+              (fun head_j ->
+                let common = Store.common_prefix_height store head_i head_j in
+                let divergence = min h_i (Store.height store head_j) - common in
+                if divergence > !max_pair then max_pair := divergence)
+              rest;
+            pairs rest
+      in
+      pairs !distinct)
     snapshots;
   {
     max_pairwise_divergence = !max_pair;

@@ -213,6 +213,15 @@ let drain t ~round ~recipient =
       Array.sort envelope_order all;
       Array.fold_right (fun env acc -> env.message :: acc) all []
 
+let deliver_batch t ~count ~delay =
+  if count < 0 then invalid_arg "Network.deliver_batch: negative count";
+  if delay < 1 then invalid_arg "Network.deliver_batch: delay must be >= 1";
+  t.sent <- t.sent + count;
+  t.delivered <- t.delivered + count;
+  match t.delay_hist with
+  | None -> ()
+  | Some h -> Metrics.observe_many h delay ~count
+
 let pending t = t.pending
 let sent t = t.sent
 let delivered t = t.delivered

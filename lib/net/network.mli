@@ -68,6 +68,15 @@ val drain : t -> round:int -> recipient:int -> Message.t list
     them. The engine drains every recipient every round, so no delivery is
     ever skipped. *)
 
+val deliver_batch : t -> count:int -> delay:int -> unit
+(** Account [count] point-to-point deliveries, all with the same [delay]
+    in rounds, without materializing envelopes: the sparse simulation
+    plane keeps one converged chain, so a broadcast's [n-1] deliveries
+    carry no information beyond their count and delay. Advances the
+    [sent]/[delivered] counters and the golden [net.delay] histogram
+    exactly as [count] enqueue-then-drain round trips at that delay
+    would. [count >= 0], [delay >= 1]. *)
+
 val pending : t -> int
 (** Messages enqueued but not yet drained. *)
 

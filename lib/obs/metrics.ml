@@ -94,6 +94,16 @@ let observe h v =
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum + v
 
+let observe_many h v ~count =
+  if count < 0 then invalid_arg "Metrics.observe_many: negative count";
+  if count > 0 then begin
+    let nb = Array.length h.buckets in
+    let rec slot i = if i >= nb then nb else if v <= h.buckets.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + count;
+    h.sum <- h.sum + (v * count)
+  end
+
 let histogram_count h = Array.fold_left ( + ) 0 h.counts
 let histogram_sum h = h.sum
 

@@ -38,6 +38,12 @@ val histogram : t -> ?golden:bool -> buckets:int array -> string -> histogram
     with different buckets raises [Invalid_argument]. *)
 
 val observe : histogram -> int -> unit
+
+val observe_many : histogram -> int -> count:int -> unit
+(** [observe_many h v ~count] is [count] repetitions of [observe h v] in
+    O(buckets): the batch-delivery path of the sparse engine records one
+    delay for [n-1] recipients at once. [count] must be non-negative. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 

@@ -1,9 +1,11 @@
 module Params = Fruitchain_core.Params
 
 type protocol = Nakamoto | Fruitchain
+type engine = Exact | Sparse
 
 type t = {
   protocol : protocol;
+  engine : engine;
   n : int;
   rho : float;
   delta : int;
@@ -59,7 +61,7 @@ let corrupt_count_at t ~round =
       done;
       !count
 
-let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds = 50_000)
+let make ?(protocol = Fruitchain) ?(engine = Exact) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds = 50_000)
     ?(seed = 1L) ?(corruption_schedule = []) ?(uncorruption_schedule = [])
     ?(gossip = false) ?(gossip_schedule = []) ?(snapshot_interval = 50)
     ?(head_snapshot_interval = 500) ?(probe_interval = 0) ~params () =
@@ -117,6 +119,7 @@ let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds =
     invalid_arg "Config.make: contradictory gossip toggles at the same round";
   {
     protocol;
+    engine;
     n;
     rho;
     delta;
@@ -133,6 +136,9 @@ let make ?(protocol = Fruitchain) ?(n = 40) ?(rho = 0.0) ?(delta = 2) ?(rounds =
   }
 
 let pp fmt t =
-  Format.fprintf fmt "%s n=%d rho=%.2f delta=%d rounds=%d seed=%Ld [%a]"
+  Format.fprintf fmt "%s%s n=%d rho=%.2f delta=%d rounds=%d seed=%Ld [%a]"
     (match t.protocol with Nakamoto -> "nakamoto" | Fruitchain -> "fruitchain")
+    (* The exact engine is the historical default; naming it would churn
+       every golden fixture for nothing. *)
+    (match t.engine with Exact -> "" | Sparse -> "/sparse")
     t.n t.rho t.delta t.rounds t.seed Params.pp t.params

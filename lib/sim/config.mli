@@ -5,8 +5,20 @@ module Params = Fruitchain_core.Params
 
 type protocol = Nakamoto | Fruitchain
 
+type engine = Exact | Sparse
+(** Which simulation plane executes the run. [Exact] is the reference
+    per-party-per-query engine ({!Engine.run}'s historical behaviour);
+    [Sparse] is the aggregate-sampling event-driven plane ([Sparse.run]):
+    per round the number of wins is drawn binomially from the total query
+    budget, empty rounds are skipped geometrically, and each win is
+    attributed through a hash-power alias table. Statistically equivalent
+    for honest-majority throughput/fairness measurements (see DESIGN.md
+    §14 for the argument and the known divergences), and the only way to
+    reach n ≈ 10⁵ parties. *)
+
 type t = {
   protocol : protocol;
+  engine : engine;  (** Simulation plane; default [Exact]. *)
   n : int;  (** Number of parties activated by Z. *)
   rho : float;  (** Fraction of parties controlled by the adversary. *)
   delta : int;  (** Network delay bound Δ (≥ 1). *)
@@ -67,7 +79,7 @@ val corrupt_count_at : t -> round:int -> int
 (** The adversary's query budget q at the given round. *)
 
 val make :
-  ?protocol:protocol -> ?n:int -> ?rho:float -> ?delta:int -> ?rounds:int ->
+  ?protocol:protocol -> ?engine:engine -> ?n:int -> ?rho:float -> ?delta:int -> ?rounds:int ->
   ?seed:int64 -> ?corruption_schedule:(int * int) list ->
   ?uncorruption_schedule:(int * int) list -> ?gossip:bool ->
   ?gossip_schedule:(int * bool) list ->

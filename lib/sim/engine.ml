@@ -335,11 +335,20 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
   trace
 
 let run ~config ~strategy ?workload ?net_policy ?round_hook ?scope () =
-  let seed_rng = Rng.of_seed (Int64.logxor config.Config.seed 0x5DEECE66DL) in
-  let oracle =
-    Oracle.sim
-      ~p:config.Config.params.Params.p
-      ~pf:config.Config.params.Params.pf
-      (Rng.split seed_rng)
-  in
-  run_with_oracle ~config ~strategy ~oracle ?workload ?net_policy ?round_hook ?scope ()
+  match config.Config.engine with
+  | Config.Sparse ->
+      (* The sparse plane has no per-party nodes to strategize against:
+         every party mines the converged chain (the honest-coalition
+         behaviour). The strategy module is accepted for interface parity
+         and ignored; see Sparse.run and DESIGN.md §14. *)
+      let (module _ : Strategy.S) = strategy in
+      Sparse.run ~config ?workload ?net_policy ?round_hook ?scope ()
+  | Config.Exact ->
+      let seed_rng = Rng.of_seed (Int64.logxor config.Config.seed 0x5DEECE66DL) in
+      let oracle =
+        Oracle.sim
+          ~p:config.Config.params.Params.p
+          ~pf:config.Config.params.Params.pf
+          (Rng.split seed_rng)
+      in
+      run_with_oracle ~config ~strategy ~oracle ?workload ?net_policy ?round_hook ?scope ()

@@ -19,9 +19,14 @@ val run :
   ?net_policy:Fruitchain_net.Network.policy ->
   ?round_hook:(scope:Fruitchain_obs.Scope.t -> round:int -> unit) ->
   ?scope:Fruitchain_obs.Scope.t -> unit -> Trace.t
-(** Runs the execution to completion and returns the trace. The oracle is
-    the sampling backend seeded from [config.seed]; every honest party, the
-    adversary, and the network get independent split streams.
+(** Runs the execution to completion and returns the trace, dispatching on
+    [config.engine]: [Exact] (default) runs the per-party-per-query round
+    loop below; [Sparse] hands the whole run to {!Sparse.run}, which
+    simulates the same mining process by aggregate sampling (the strategy
+    module is then ignored — the sparse plane is honest-coalition by
+    construction). On the exact plane the oracle is the sampling backend
+    seeded from [config.seed]; every honest party, the adversary, and the
+    network get independent split streams.
 
     [?net_policy] is installed on the run's network at creation — the
     fruitstorm fault-injection hook ({!Fruitchain_net.Network.policy}).

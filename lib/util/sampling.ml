@@ -40,6 +40,26 @@ let binomial g n p =
       !count
     end
 
+let binomial_pos g n p =
+  if n <= 0 then invalid_arg "Sampling.binomial_pos: need n > 0";
+  if p <= 0.0 then invalid_arg "Sampling.binomial_pos: need p > 0";
+  if p >= 1.0 then n
+  else begin
+    (* Condition on >= 1 success by first-success decomposition: the index
+       J of the first success among the n trials is a geometric truncated
+       to [0, n-1] (sampled by inverting its CDF restricted to that range),
+       and the trials after it are unconditioned. *)
+    let q = 1.0 -. p in
+    (* 1 - q^n, computed without cancellation for tiny n·p. *)
+    let tail = -.Float.expm1 (float_of_int n *. Float.log1p (-.p)) in
+    let u = Rng.float g in
+    let j =
+      int_of_float (Float.floor (Float.log1p (-.(u *. tail)) /. Float.log q))
+    in
+    let j = if j < 0 then 0 else if j > n - 1 then n - 1 else j in
+    1 + binomial g (n - j - 1) p
+  end
+
 let poisson g lambda =
   if lambda < 0.0 then invalid_arg "Sampling.poisson: negative lambda";
   if lambda = 0.0 then 0

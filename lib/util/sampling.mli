@@ -16,6 +16,14 @@ val binomial : Rng.t -> int -> float -> int
     continuity correction (clamped to [\[0, n\]]) once [n·p(1-p) > 100]; the
     approximation error there is far below the simulation noise we measure. *)
 
+val binomial_pos : Rng.t -> int -> float -> int
+(** [binomial_pos g n p] samples Binomial(n, p) conditioned on the count
+    being at least 1 — the per-round win count of the sparse simulation
+    plane, which only visits rounds already known (via the geometric
+    round-skip) to contain a win. Sampled by first-success decomposition:
+    the index of the first success is a truncated geometric, the remaining
+    trials an unconditioned binomial. Requires [n > 0] and [p > 0]. *)
+
 val poisson : Rng.t -> float -> int
 (** [poisson g lambda] for [lambda >= 0]. Knuth multiplication for
     [lambda <= 30], normal approximation above. *)

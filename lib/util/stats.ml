@@ -82,6 +82,25 @@ let quantile xs q =
 
 let median xs = quantile xs 0.5
 
+let gini xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.gini: empty array";
+  Array.iter
+    (fun x -> if x < 0.0 then invalid_arg "Stats.gini: negative value")
+    xs;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  if total = 0.0 then 0.0
+  else begin
+    (* G = (2 Σ_i i·x_(i) / (n Σ x)) - (n+1)/n with 1-based ranks over the
+       sorted values. *)
+    let weighted = ref 0.0 in
+    Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+    (2.0 *. !weighted /. (float_of_int n *. total))
+    -. (float_of_int (n + 1) /. float_of_int n)
+  end
+
 module Histogram = struct
   type nonrec t = { lo : float; hi : float; counts : int array; mutable total : int }
 

@@ -42,6 +42,12 @@ val quantile : float array -> float -> float
 
 val median : float array -> float
 
+val gini : float array -> float
+(** Gini coefficient of a non-negative sample (0 = perfectly equal,
+    → 1 = concentrated): the reward-concentration headline of the E22
+    sweep. An all-zero sample has coefficient 0. Sorts a copy; raises
+    [Invalid_argument] on an empty array or a negative value. *)
+
 (** {1 Histogram} *)
 
 module Histogram : sig

@@ -39,7 +39,7 @@ let observe ~jobs (module E : Exp.EXPERIMENT) =
    these get the extra repeated-run check at jobs=4, where scheduling noise
    would show up if any unit drew from shared state. *)
 let parallel_ids =
-  [ "E01"; "E02"; "E03"; "E07"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ]
+  [ "E01"; "E02"; "E03"; "E07"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22" ]
 
 let test_jobs_invariance (module E : Exp.EXPERIMENT) () =
   let sequential = render ~jobs:1 (module E) in
@@ -59,7 +59,7 @@ let test_repeat_stability (module E : Exp.EXPERIMENT) () =
    metric dump and in the merged trace stream (children merge in unit-index
    order). A subset keeps the suite's runtime reasonable; these three cover
    a Nakamoto sweep, a FruitChain sweep, and a parameter sweep. *)
-let scoped_ids = [ "E01"; "E02"; "E17" ]
+let scoped_ids = [ "E01"; "E02"; "E17"; "E22" ]
 
 let test_scope_invariance (module E : Exp.EXPERIMENT) () =
   let seq_metrics, seq_trace = observe ~jobs:1 (module E) in

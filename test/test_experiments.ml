@@ -7,7 +7,7 @@ module Registry = Fruitchain_experiments.Registry
 module Table = Fruitchain_util.Table
 
 let test_registry_complete () =
-  Alcotest.(check int) "twenty-one experiments" 21 (List.length Registry.all);
+  Alcotest.(check int) "twenty-two experiments" 22 (List.length Registry.all);
   let ids = List.map fst (Registry.ids ()) in
   List.iteri
     (fun i id ->

@@ -1,0 +1,340 @@
+(* Statistical-equivalence harness for the sparse simulation plane.
+
+   The sparse engine (lib/sim/sparse.ml) replaces the exact per-party
+   per-query round loop with aggregate win sampling: Binomial(Q, p) wins
+   per round, geometric skip of empty rounds, alias-table attribution. It
+   cannot be draw-for-draw identical to the exact plane — the whole point
+   is to consume O(wins) randomness instead of O(n·rounds) — so this suite
+   holds the two planes to the same *marginals* at fixed seeds instead:
+
+   - closed-form checks: each engine's total block/fruit counts sit within
+     a few sigma of the Binomial(n·rounds, p) law both implement;
+   - differential checks: per-party win-count vectors from the two engines
+     agree under chi-square and Kolmogorov-Smirnov two-sample tests, and
+     headline table columns (adversarial share) agree within tolerance;
+   - accounting: [oracle.queries] is pinned to the same effective-query
+     number (n·rounds) on both engines, in the trace and in the golden
+     metric dump — the sparse plane reports simulated attempts, not RNG
+     draws;
+   - determinism: capping the skip-ahead ([max_skip:1], i.e. visiting
+     every round) is byte-invisible, because skipped rounds consume no
+     randomness and mutate no state.
+
+   Thresholds are 5-6 sigma at fixed seeds: the tests are deterministic,
+   so they either pass forever or catch a real change in the sampling
+   law. *)
+
+module Config = Fruitchain_sim.Config
+module Engine = Fruitchain_sim.Engine
+module Sparse = Fruitchain_sim.Sparse
+module Trace = Fruitchain_sim.Trace
+module Exp = Fruitchain_experiments.Exp
+module Runs = Fruitchain_experiments.Runs
+module Hash = Fruitchain_crypto.Hash
+module Metrics = Fruitchain_obs.Metrics
+module Scope = Fruitchain_obs.Scope
+
+(* --- Shared configuration --------------------------------------------- *)
+
+let p = 0.002
+let fruit_ratio = 10.0 (* pf = 0.02 *)
+let pf = p *. fruit_ratio
+
+let config ?(engine = Config.Exact) ?(n = 40) ?(rho = 0.25) ?(rounds = 4_000)
+    ?(seed = 1L) () =
+  Config.make ~protocol:Config.Fruitchain ~engine ~n ~rho ~delta:2 ~rounds ~seed
+    ~params:(Exp.default_params ~q:fruit_ratio ~p ()) ()
+
+let run ?scope config =
+  Engine.run ~config ~strategy:Runs.honest_coalition ?scope ()
+
+type tally = {
+  blocks : int;
+  fruits : int;
+  adv_fruits : int;
+  honest_fruit_counts : int array; (* indexed by party id; corrupt stay 0 *)
+}
+
+let tally config trace =
+  let blocks = ref 0 and fruits = ref 0 and adv_fruits = ref 0 in
+  let counts = Array.make config.Config.n 0 in
+  Trace.iter_events trace ~f:(fun (e : Trace.event) ->
+      match e.kind with
+      | `Block -> incr blocks
+      | `Fruit ->
+          incr fruits;
+          if e.honest then counts.(e.miner) <- counts.(e.miner) + 1
+          else incr adv_fruits);
+  { blocks = !blocks; fruits = !fruits; adv_fruits = !adv_fruits; honest_fruit_counts = counts }
+
+let honest_counts config t =
+  List.map
+    (fun i -> t.honest_fruit_counts.(i))
+    (List.init (config.Config.n - Config.corrupt_count config) Fun.id)
+
+(* --- Closed-form marginals --------------------------------------------- *)
+
+(* Total wins of either kind are Binomial(n·rounds, hardness) on both
+   planes: exact mines one query per party per round, sparse draws the
+   same law in aggregate. Check the observed count sits within 5 sigma. *)
+let check_binomial_total name ~queries ~hardness observed =
+  let mean = float_of_int queries *. hardness in
+  let sigma = Float.sqrt (mean *. (1.0 -. hardness)) in
+  let z = Float.abs (float_of_int observed -. mean) /. sigma in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d within 5 sigma of %.1f (z=%.2f)" name observed mean z)
+    true (z < 5.0)
+
+let test_closed_form engine () =
+  let cfg = config ~engine () in
+  let t = tally cfg (run cfg) in
+  let queries = cfg.Config.n * cfg.Config.rounds in
+  check_binomial_total "fruit total" ~queries ~hardness:pf t.fruits;
+  check_binomial_total "block total" ~queries ~hardness:p t.blocks;
+  (* The adversary controls floor(rho n) of n uniform queries, so its
+     fruit share is Binomial(fruits, q/n)/fruits. *)
+  let share = float_of_int (Config.corrupt_count cfg) /. float_of_int cfg.Config.n in
+  let sigma = Float.sqrt (share *. (1.0 -. share) /. float_of_int t.fruits) in
+  let observed = float_of_int t.adv_fruits /. float_of_int t.fruits in
+  Alcotest.(check bool)
+    (Printf.sprintf "adv share %.4f within 5 sigma of %.4f" observed share)
+    true
+    (Float.abs (observed -. share) < 5.0 *. sigma)
+
+(* --- Exact vs sparse two-sample tests ---------------------------------- *)
+
+(* Pearson two-sample statistic over matched per-party counts:
+   sum (a_i - b_i)^2 / (a_i + b_i) ~ chi-square(k - 1) under the shared
+   uniform-multinomial law. Accept within 5 sd of the chi-square mean. *)
+let chi_square_two_sample a b =
+  let stat = ref 0.0 and k = ref 0 in
+  List.iter2
+    (fun ai bi ->
+      let s = ai + bi in
+      if s > 0 then begin
+        incr k;
+        let d = float_of_int (ai - bi) in
+        stat := !stat +. (d *. d /. float_of_int s)
+      end)
+    a b;
+  (!stat, !k - 1)
+
+(* Two-sample Kolmogorov-Smirnov distance between empirical CDFs of two
+   integer samples (here: the distribution of per-party counts). *)
+let ks_two_sample a b =
+  let a = List.sort compare a and b = List.sort compare b in
+  let na = float_of_int (List.length a) and nb = float_of_int (List.length b) in
+  let rec go a b fa fb d =
+    match (a, b) with
+    | [], [] -> d
+    | x :: _, y :: _ when x < y -> step_a a b fa fb d
+    | x :: _, y :: _ when y < x -> step_b a b fa fb d
+    | _ :: _, _ :: _ -> step_a a b fa fb d
+    | _ :: _, [] -> step_a a b fa fb d
+    | [], _ :: _ -> step_b a b fa fb d
+  and step_a a b fa fb d =
+    match a with
+    | x :: rest ->
+        let fa = fa +. (1.0 /. na) in
+        (* Consume the whole tie group on this side before measuring. *)
+        (match rest with
+        | y :: _ when y = x -> go rest b fa fb d
+        | _ -> go rest b fa fb (Float.max d (Float.abs (fa -. fb))))
+    | [] -> d
+  and step_b a b fa fb d =
+    match b with
+    | y :: rest ->
+        let fb = fb +. (1.0 /. nb) in
+        (match rest with
+        | x :: _ when x = y -> go a rest fa fb d
+        | _ -> go a rest fa fb (Float.max d (Float.abs (fa -. fb))))
+    | [] -> d
+  in
+  go a b 0.0 0.0 0.0
+
+let test_differential_chi_square () =
+  let exact_cfg = config ~engine:Config.Exact () in
+  let sparse_cfg = config ~engine:Config.Sparse () in
+  let a = honest_counts exact_cfg (tally exact_cfg (run exact_cfg)) in
+  let b = honest_counts sparse_cfg (tally sparse_cfg (run sparse_cfg)) in
+  let stat, dof = chi_square_two_sample a b in
+  let mean = float_of_int dof and sd = Float.sqrt (2.0 *. float_of_int dof) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2=%.1f within 5 sd of chi-square(%d)" stat dof)
+    true
+    (Float.abs (stat -. mean) < 5.0 *. sd)
+
+let test_differential_ks () =
+  let exact_cfg = config ~engine:Config.Exact () in
+  let sparse_cfg = config ~engine:Config.Sparse () in
+  let a = honest_counts exact_cfg (tally exact_cfg (run exact_cfg)) in
+  let b = honest_counts sparse_cfg (tally sparse_cfg (run sparse_cfg)) in
+  let d = ks_two_sample a b in
+  let na = float_of_int (List.length a) and nb = float_of_int (List.length b) in
+  (* c(alpha = 0.001) = 1.95; ties only make the test more conservative. *)
+  let threshold = 1.95 *. Float.sqrt ((na +. nb) /. (na *. nb)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "KS distance %.3f below %.3f" d threshold)
+    true (d < threshold)
+
+let test_differential_table_columns () =
+  (* The headline experiment columns must agree between engines: block and
+     fruit totals within relative tolerance, adversarial share within
+     absolute tolerance. These are the E22-style table cells. *)
+  let exact_cfg = config ~engine:Config.Exact () in
+  let sparse_cfg = config ~engine:Config.Sparse () in
+  let a = tally exact_cfg (run exact_cfg) in
+  let b = tally sparse_cfg (run sparse_cfg) in
+  let rel x y = Float.abs (float_of_int x -. float_of_int y) /. float_of_int (max x y) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fruit totals %d vs %d within 10%%" a.fruits b.fruits)
+    true
+    (rel a.fruits b.fruits < 0.10);
+  Alcotest.(check bool)
+    (Printf.sprintf "block totals %d vs %d within 25%%" a.blocks b.blocks)
+    true
+    (rel a.blocks b.blocks < 0.25);
+  let share t = float_of_int t.adv_fruits /. float_of_int t.fruits in
+  Alcotest.(check bool)
+    (Printf.sprintf "adv shares %.4f vs %.4f within 0.04" (share a) (share b))
+    true
+    (Float.abs (share a -. share b) < 0.04)
+
+(* --- Effective query accounting ---------------------------------------- *)
+
+let test_query_parity () =
+  (* Golden accounting pin: both engines must report exactly n·rounds
+     effective oracle queries — the exact plane counts real attempts, the
+     sparse plane charges the simulated budget, never its own RNG draws.
+     Pinned in the trace and in the scoped golden metric dump. *)
+  let expected = 40 * 4_000 in
+  let observe engine =
+    let metrics = Metrics.create () in
+    let cfg = config ~engine () in
+    let trace = run ~scope:(Scope.make ~metrics ()) cfg in
+    (Trace.oracle_queries trace, Metrics.get_counter metrics "oracle.queries")
+  in
+  let exact_trace, exact_dump = observe Config.Exact in
+  let sparse_trace, sparse_dump = observe Config.Sparse in
+  Alcotest.(check int) "exact trace queries" expected exact_trace;
+  Alcotest.(check int) "sparse trace queries" expected sparse_trace;
+  Alcotest.(check (option int)) "exact dump queries" (Some expected) exact_dump;
+  Alcotest.(check (option int)) "sparse dump queries" (Some expected) sparse_dump
+
+(* --- Skip-ahead determinism -------------------------------------------- *)
+
+let event_key (e : Trace.event) =
+  Printf.sprintf "%d:%d:%b:%s:%s" e.round e.miner e.honest
+    (match e.kind with `Block -> "B" | `Fruit -> "F")
+    (Hash.to_hex e.hash)
+
+(* [sim.rounds_visited] is the one counter that legitimately depends on the
+   skip cap — it diagnoses the skipping itself. Scrub it before comparing
+   dumps; everything else must be byte-identical. *)
+let scrub_visited dump =
+  let key = {|"sim.rounds_visited":|} in
+  let rec find i =
+    if i + String.length key > String.length dump then None
+    else if String.equal (String.sub dump i (String.length key)) key then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> dump
+  | Some start ->
+      let stop = ref (start + String.length key) in
+      while !stop < String.length dump && dump.[!stop] <> ',' && dump.[!stop] <> '}' do
+        incr stop
+      done;
+      String.sub dump 0 (start + String.length key) ^ "_"
+      ^ String.sub dump !stop (String.length dump - !stop)
+
+let sparse_artifacts ?max_skip cfg =
+  let metrics = Metrics.create () in
+  let trace = Sparse.run ~config:cfg ?max_skip ~scope:(Scope.make ~metrics ()) () in
+  let events = List.map event_key (Trace.events trace) in
+  let finals = Array.to_list (Array.map Hash.to_hex (Trace.final_heads trace)) in
+  let heights =
+    List.map
+      (fun (r, hs) -> Printf.sprintf "%d:%s" r (String.concat "," (Array.to_list (Array.map string_of_int hs))))
+      (Trace.height_snapshots trace)
+  in
+  let visited = Option.value ~default:0 (Metrics.get_counter metrics "sim.rounds_visited") in
+  (events, finals, heights, scrub_visited (Metrics.dump metrics), visited)
+
+let check_skip_invariance cfg =
+  let e1, f1, h1, m1, v1 = sparse_artifacts ~max_skip:1 cfg in
+  let e2, f2, h2, m2, v2 = sparse_artifacts cfg in
+  Alcotest.(check (list string)) "events byte-identical" e1 e2;
+  Alcotest.(check (list string)) "final heads byte-identical" f1 f2;
+  Alcotest.(check (list string)) "height snapshots byte-identical" h1 h2;
+  Alcotest.(check string) "metric dumps byte-identical (modulo visit diagnostic)" m1 m2;
+  Alcotest.(check int) "max_skip:1 visits every round" cfg.Config.rounds v1;
+  Alcotest.(check bool) "unbounded skip visits no more rounds" true (v2 <= v1)
+
+let test_max_skip_invisible () =
+  check_skip_invariance (config ~engine:Config.Sparse ())
+
+(* --- QCheck: the laws hold across the configuration space -------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* (n, rho, fruit_ratio) drawn from the space the experiments sweep;
+       both engines run at a derived seed and their totals must each match
+       the shared Binomial marginal at 6 sigma, with adversarial shares
+       matching floor(rho n)/n. *)
+    Test.make ~name:"both engines match the Binomial(n*rounds, pf) marginal" ~count:8
+      (triple (int_bound 40) (int_bound 2) (int_bound 1000))
+      (fun (n, rho_i, seed) ->
+        let n = 5 + n in
+        let rho = 0.2 *. float_of_int rho_i in
+        let rounds = 1_500 in
+        let run_tally engine =
+          let cfg = config ~engine ~n ~rho ~rounds ~seed:(Int64.of_int (seed + 1)) () in
+          tally cfg (run cfg)
+        in
+        let within t =
+          let mean = float_of_int (n * rounds) *. pf in
+          let sigma = Float.sqrt (mean *. (1.0 -. pf)) in
+          Float.abs (float_of_int t.fruits -. mean) < 6.0 *. sigma
+        in
+        let share_ok t =
+          let share = float_of_int (int_of_float (rho *. float_of_int n)) /. float_of_int n in
+          if t.fruits = 0 then true
+          else
+            let sigma = Float.sqrt (Float.max 1e-9 (share *. (1.0 -. share)) /. float_of_int t.fruits) in
+            Float.abs ((float_of_int t.adv_fruits /. float_of_int t.fruits) -. share)
+            < (6.0 *. sigma) +. 1e-9
+        in
+        let a = run_tally Config.Exact and b = run_tally Config.Sparse in
+        within a && within b && share_ok a && share_ok b);
+    Test.make ~name:"max_skip cap is byte-invisible across seeds" ~count:12
+      (int_bound 1000)
+      (fun seed ->
+        let cfg =
+          config ~engine:Config.Sparse ~n:12 ~rounds:800 ~seed:(Int64.of_int (seed + 1)) ()
+        in
+        let e1, f1, h1, m1, _ = sparse_artifacts ~max_skip:1 cfg in
+        let e2, f2, h2, m2, _ = sparse_artifacts cfg in
+        e1 = e2 && f1 = f2 && h1 = h2 && String.equal m1 m2);
+  ]
+
+let () =
+  Alcotest.run "sparse-differential"
+    [
+      ( "closed-form",
+        [
+          Alcotest.test_case "exact engine marginals" `Quick (test_closed_form Config.Exact);
+          Alcotest.test_case "sparse engine marginals" `Quick (test_closed_form Config.Sparse);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "per-party counts chi-square" `Quick test_differential_chi_square;
+          Alcotest.test_case "per-party counts KS" `Quick test_differential_ks;
+          Alcotest.test_case "table columns agree" `Quick test_differential_table_columns;
+          Alcotest.test_case "oracle.queries parity" `Quick test_query_parity;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "max_skip:1 is invisible" `Quick test_max_skip_invisible ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

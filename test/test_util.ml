@@ -5,6 +5,7 @@ module Sampling = Fruitchain_util.Sampling
 module Stats = Fruitchain_util.Stats
 module Hex = Fruitchain_util.Hex
 module Table = Fruitchain_util.Table
+module Alias = Fruitchain_util.Alias
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -296,6 +297,109 @@ let test_table_formats () =
   Alcotest.(check string) "f2" "3.14" (Table.f2 3.14159);
   Alcotest.(check string) "int" "42" (Table.int 42)
 
+(* --- Alias tables ----------------------------------------------------- *)
+
+let test_alias_single () =
+  let t = Alias.create [| 3.0 |] in
+  Alcotest.(check int) "size" 1 (Alias.size t);
+  check_float "probability" 1.0 (Alias.probability t 0);
+  let g = Rng.of_seed 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always index 0" 0 (Alias.sample t g)
+  done
+
+let test_alias_zero_weight_excluded () =
+  let t = Alias.create [| 1.0; 0.0; 1.0 |] in
+  check_float "zero weight has zero probability" 0.0 (Alias.probability t 1);
+  let g = Rng.of_seed 11L in
+  for _ = 1 to 2000 do
+    Alcotest.(check bool) "never samples a zero-weight index" true (Alias.sample t g <> 1)
+  done
+
+let test_alias_invalid () =
+  let raises name msg weights =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Alias.create weights))
+  in
+  raises "empty" "Alias.create: empty weight vector" [||];
+  raises "all zero" "Alias.create: all weights are zero" [| 0.0; 0.0 |];
+  let bad = "Alias.create: weights must be finite and non-negative" in
+  raises "negative" bad [| 1.0; -1.0 |];
+  raises "nan" bad [| 1.0; Float.nan |];
+  raises "infinite" bad [| 1.0; Float.infinity |]
+
+let test_alias_probability_normalizes () =
+  let weights = [| 2.0; 6.0; 0.0; 4.0 |] in
+  let t = Alias.create weights in
+  check_float "w0" (2.0 /. 12.0) (Alias.probability t 0);
+  check_float "w1" (6.0 /. 12.0) (Alias.probability t 1);
+  check_float "w2" 0.0 (Alias.probability t 2);
+  check_float "w3" (4.0 /. 12.0) (Alias.probability t 3)
+
+let test_alias_deterministic () =
+  let weights = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let a = Alias.create weights and b = Alias.create weights in
+  let ga = Rng.of_seed 21L and gb = Rng.of_seed 21L in
+  for _ = 1 to 500 do
+    Alcotest.(check int) "same table, same stream" (Alias.sample a ga) (Alias.sample b gb)
+  done
+
+let test_alias_two_draws () =
+  (* The O(1) contract: a sample consumes exactly two draws, so a sample
+     followed by a raw draw matches two skipped draws followed by the same
+     raw draw on a twin stream. *)
+  let t = Alias.create [| 1.0; 2.0; 3.0 |] in
+  let a = Rng.of_seed 33L and b = Rng.of_seed 33L in
+  ignore (Alias.sample t a);
+  ignore (Rng.bits64 b);
+  ignore (Rng.bits64 b);
+  Alcotest.(check int64) "exactly two draws per sample" (Rng.bits64 b) (Rng.bits64 a)
+
+(* --- binomial_pos / gini ---------------------------------------------- *)
+
+let test_binomial_pos_edges () =
+  let g = Rng.of_seed 3L in
+  Alcotest.(check int) "p=1 gives n" 7 (Sampling.binomial_pos g 7 1.0);
+  Alcotest.(check int) "n=1 gives 1" 1 (Sampling.binomial_pos g 1 0.3);
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Sampling.binomial_pos: need n > 0") (fun () ->
+      ignore (Sampling.binomial_pos g 0 0.5));
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Sampling.binomial_pos: need p > 0") (fun () ->
+      ignore (Sampling.binomial_pos g 5 0.0))
+
+let test_binomial_pos_mean () =
+  (* E[Bin(n,p) | >= 1] = n*p / (1 - (1-p)^n). *)
+  let g = Rng.of_seed 17L in
+  let n = 50 and p = 0.02 and trials = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let x = Sampling.binomial_pos g n p in
+    Alcotest.(check bool) "in [1, n]" true (x >= 1 && x <= n);
+    total := !total + x
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expected =
+    float_of_int n *. p /. -.Float.expm1 (float_of_int n *. Float.log1p (-.p))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f within 2%% of %.4f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.02 *. expected)
+
+let test_gini_known () =
+  check_float "equal shares" 0.0 (Stats.gini [| 5.0; 5.0; 5.0; 5.0 |]);
+  check_float "one-hot" 0.75 (Stats.gini [| 0.0; 0.0; 0.0; 1.0 |]);
+  check_float "all zero" 0.0 (Stats.gini [| 0.0; 0.0 |]);
+  check_float "scale invariant" (Stats.gini [| 1.0; 2.0; 3.0 |])
+    (Stats.gini [| 10.0; 20.0; 30.0 |])
+
+let test_gini_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.gini: empty array") (fun () ->
+      ignore (Stats.gini [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Stats.gini: negative value")
+    (fun () -> ignore (Stats.gini [| 1.0; -2.0 |]))
+
 (* --- QCheck properties ----------------------------------------------- *)
 
 let qcheck_tests =
@@ -327,6 +431,83 @@ let qcheck_tests =
         let a = Array.of_list xs in
         Sampling.shuffle g a;
         List.sort compare (Array.to_list a) = List.sort compare xs);
+    Test.make ~name:"alias sampling matches weights" ~count:25
+      (pair (int_bound 1000) (list_of_size Gen.(1 -- 8) (int_bound 20)))
+      (fun (seed, ws) ->
+        let ws = if List.for_all (fun w -> w = 0) ws then [ 1 ] else ws in
+        let weights = Array.of_list (List.map float_of_int ws) in
+        let t = Alias.create weights in
+        let n = Alias.size t in
+        let g = Rng.of_seed (Int64.of_int (seed + 1)) in
+        let trials = 30_000 in
+        let counts = Array.make n 0 in
+        for _ = 1 to trials do
+          let i = Alias.sample t g in
+          counts.(i) <- counts.(i) + 1
+        done;
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let p = Alias.probability t i in
+          let emp = float_of_int counts.(i) /. float_of_int trials in
+          let sigma = Float.sqrt (p *. (1.0 -. p) /. float_of_int trials) in
+          if Float.abs (emp -. p) > (5.0 *. sigma) +. 1e-9 then ok := false
+        done;
+        !ok);
+    Test.make ~name:"alias rebuild tracks the new weight vector" ~count:200
+      (pair
+         (list_of_size Gen.(1 -- 6) (int_bound 9))
+         (list_of_size Gen.(1 -- 6) (int_bound 9)))
+      (fun (ws1, ws2) ->
+        (* A power change on the sparse plane rebuilds the table from the
+           new vector; the old table is immutable and keeps its law. *)
+        let fix ws =
+          let ws = List.map float_of_int ws in
+          if List.for_all (fun w -> w = 0.0) ws then [ 1.0 ] else ws
+        in
+        let w1 = Array.of_list (fix ws1) and w2 = Array.of_list (fix ws2) in
+        let t1 = Alias.create w1 in
+        let t2 = Alias.create w2 in
+        let matches t w =
+          let total = Array.fold_left ( +. ) 0.0 w in
+          let ok = ref true in
+          Array.iteri
+            (fun i wi ->
+              if Float.abs (Alias.probability t i -. (wi /. total)) > 1e-9 then
+                ok := false)
+            w;
+          !ok
+        in
+        matches t2 w2 && matches t1 w1);
+    Test.make ~name:"binomial_pos within [1,n]" ~count:300
+      (pair (int_bound 99) (int_bound 1000))
+      (fun (n, seed) ->
+        let n = n + 1 in
+        let g = Rng.of_seed (Int64.of_int (seed + 1)) in
+        let x = Sampling.binomial_pos g n 0.07 in
+        x >= 1 && x <= n);
+    Test.make ~name:"geometric skip never lands past a win round" ~count:50
+      (int_bound 1000)
+      (fun seed ->
+        (* The sparse scheduler draws the gap to the next winning round
+           from Geometric(pb) with pb = 1-(1-p)^Q, then the win count at
+           that round from Binomial(Q,p) conditioned positive. The two
+           compose to the per-query Bernoulli marginal: total wins over R
+           rounds must match Binomial(R*Q, p). *)
+        let g = Rng.of_seed (Int64.of_int (seed + 1)) in
+        let rounds = 4_000 and q = 8 in
+        let p = 0.004 in
+        let pb = -.Float.expm1 (float_of_int q *. Float.log1p (-.p)) in
+        let total = ref 0 in
+        let r = ref (Sampling.geometric g pb) in
+        while !r < rounds do
+          let wins = Sampling.binomial_pos g q p in
+          if wins < 1 then total := min_int;
+          total := !total + wins;
+          r := !r + 1 + Sampling.geometric g pb
+        done;
+        let mean = float_of_int (rounds * q) *. p in
+        let sigma = Float.sqrt (mean *. (1.0 -. p)) in
+        Float.abs (float_of_int !total -. mean) < 6.0 *. sigma);
   ]
 
 let () =
@@ -354,6 +535,8 @@ let () =
           Alcotest.test_case "binomial mean (small)" `Quick test_binomial_mean_small;
           Alcotest.test_case "binomial mean (large)" `Quick test_binomial_mean_large;
           Alcotest.test_case "binomial range" `Quick test_binomial_range;
+          Alcotest.test_case "binomial_pos edges" `Quick test_binomial_pos_edges;
+          Alcotest.test_case "binomial_pos mean" `Quick test_binomial_pos_mean;
           Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
           Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
@@ -371,6 +554,17 @@ let () =
           Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
           Alcotest.test_case "cv" `Quick test_cv;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "gini known values" `Quick test_gini_known;
+          Alcotest.test_case "gini invalid" `Quick test_gini_invalid;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "single entry" `Quick test_alias_single;
+          Alcotest.test_case "zero weight excluded" `Quick test_alias_zero_weight_excluded;
+          Alcotest.test_case "invalid weights" `Quick test_alias_invalid;
+          Alcotest.test_case "probability normalizes" `Quick test_alias_probability_normalizes;
+          Alcotest.test_case "deterministic construction" `Quick test_alias_deterministic;
+          Alcotest.test_case "exactly two draws" `Quick test_alias_two_draws;
         ] );
       ( "hex",
         [

@@ -140,6 +140,31 @@ let () =
       if not (List.exists (fun (id', _) -> String.equal id id') base_exps) then
         Printf.printf "%-6s %12s %12.2f %9s  new (not in baseline)\n" id "-" fresh_wall "-")
     fresh_exps;
+  (* Engine headline (PR 7): the sparse plane must keep its aggregate-
+     sampling advantage. The acceptance floor is 100x over the exact
+     engine's per-query throughput — the measured figure is orders of
+     magnitude above it, so this only trips on a real collapse of the
+     sparse plane (e.g. skip-ahead or batch delivery silently disabled). *)
+  let engines doc =
+    Option.bind (Json.member "engines" doc) (fun e ->
+        match
+          ( Option.bind (Json.member "exact_events_per_sec" e) Json.to_float,
+            Option.bind (Json.member "sparse_events_per_sec" e) Json.to_float,
+            Option.bind (Json.member "speedup" e) Json.to_float )
+        with
+        | Some exact, Some sparse, Some speedup -> Some (exact, sparse, speedup)
+        | _ -> None)
+  in
+  (match (engines baseline, engines fresh) with
+  | _, Some (exact, sparse, speedup) ->
+      Printf.printf "%-6s %12.0f %12.0f %8.0fx%s\n" "sparse" exact sparse speedup
+        (if speedup < 100.0 then "  BELOW 100x FLOOR" else "");
+      if speedup < 100.0 then incr failures
+  | Some _, None ->
+      incr failures;
+      Printf.printf "%-6s %12s %12s %9s  engine headline MISSING from fresh run\n" "sparse"
+        "-" "-" "-"
+  | None, None -> ());
   let total path doc =
     match Option.bind (Json.member "total_wall_s" doc) Json.to_float with
     | Some t -> t
