@@ -233,10 +233,29 @@ let run_micro () =
 
 (* --- Part 2: the reproduction tables ------------------------------------ *)
 
+(* The throughput figure of BENCH.json: instrumented simulator events the
+   reproduction performed (oracle queries dominate; deliveries, mints and
+   probes ride along). A pure function of the golden counters, so it is
+   identical at every worker count — only events_per_sec varies. *)
+let events_total m =
+  List.fold_left
+    (fun acc name -> acc + Option.value ~default:0 (Metrics.get_counter m name))
+    0
+    [
+      "oracle.queries";
+      "net.delivered";
+      "sim.mint.fruit.honest";
+      "sim.mint.fruit.adversary";
+      "sim.mint.block.honest";
+      "sim.mint.block.adversary";
+      "sim.probes";
+    ]
+
 (* Wall-clock and cpu time via the blessed clock home (Obs.Clock): reporting
    and telemetry only, never fed into the simulation. Returns per-experiment
-   timings plus the total, for BENCH.json. *)
-let run_tables scale =
+   timings (with the event-counter delta each experiment contributed, so
+   BENCH.json can gate per-experiment throughput) plus the total. *)
+let run_tables ~registry scale =
   Printf.printf "== reproduction: every table and figure (scale: %s, jobs: %d) ==\n\n"
     (match scale with Exp.Full -> "full" | Exp.Quick -> "quick")
     (Pool.default_jobs ());
@@ -244,13 +263,15 @@ let run_tables scale =
   let timings =
     List.map
       (fun (module E : Exp.EXPERIMENT) ->
+        let e0 = events_total registry in
         let c0 = Clock.cpu_s () in
         let t0 = Clock.now_s () in
         let outcome = E.run ~scale () in
         Exp.print Format.std_formatter outcome;
         let wall = Clock.now_s () -. t0 and cpu = Clock.cpu_s () -. c0 in
+        let events = events_total registry - e0 in
         Printf.printf "(%s took %.1fs wall, %.1fs cpu)\n\n%!" E.id wall cpu;
-        (E.id, wall, cpu))
+        (E.id, wall, cpu, events))
       Registry.all
   in
   let total = Clock.now_s () -. t_all in
@@ -292,24 +313,6 @@ let engine_headline () =
     (sparse /. exact);
   (exact, sparse)
 
-(* The throughput figure of BENCH.json: instrumented simulator events the
-   reproduction performed (oracle queries dominate; deliveries, mints and
-   probes ride along). A pure function of the golden counters, so it is
-   identical at every worker count — only events_per_sec varies. *)
-let events_total m =
-  List.fold_left
-    (fun acc name -> acc + Option.value ~default:0 (Metrics.get_counter m name))
-    0
-    [
-      "oracle.queries";
-      "net.delivered";
-      "sim.mint.fruit.honest";
-      "sim.mint.fruit.adversary";
-      "sim.mint.block.honest";
-      "sim.mint.block.adversary";
-      "sim.probes";
-    ]
-
 let bench_json ~scale ~jobs ~timings ~total ~engines ~registry ~tracer =
   let exact_rate, sparse_rate = engines in
   Json.Obj
@@ -321,12 +324,16 @@ let bench_json ~scale ~jobs ~timings ~total ~engines ~registry ~tracer =
       ( "experiments",
         Json.List
           (List.map
-             (fun (id, wall, cpu) ->
+             (fun (id, wall, cpu, events) ->
                Json.Obj
                  [
                    ("id", Json.Str id);
                    ("wall_s", Json.Float wall);
                    ("cpu_s", Json.Float cpu);
+                   ("events", Json.Int events);
+                   ( "events_per_sec",
+                     Json.Float
+                       (if wall > 0.0 then float_of_int events /. wall else 0.0) );
                  ])
              timings) );
       ("events", Json.Int (events_total registry));
@@ -389,7 +396,7 @@ let () =
     let registry = Metrics.create () in
     let tracer = Option.map Tracer.to_file trace_path in
     Pool.set_scope (Scope.make ~metrics:registry ?tracer ());
-    let timings, total = run_tables scale in
+    let timings, total = run_tables ~registry scale in
     Pool.set_scope Scope.null;
     let engines = engine_headline () in
     Option.iter Tracer.close tracer;

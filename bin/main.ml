@@ -20,6 +20,9 @@ module Metrics = Fruitchain_obs.Metrics
 module Tracer = Fruitchain_obs.Tracer
 module Scope = Fruitchain_obs.Scope
 module Report = Fruitchain_obs.Report
+module Flight = Fruitchain_obs.Flight
+module Analyze = Fruitchain_obs.Analyze
+module Json = Fruitchain_obs.Json
 
 let scale_arg =
   let quick =
@@ -67,15 +70,36 @@ let obs_arg =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Stream structured simulator events as JSONL to $(docv).")
   in
-  Term.(const (fun m t -> (m, t)) $ metrics $ trace)
+  let flight =
+    Arg.(
+      value
+      & opt string "flight-dump-"
+      & info [ "flight" ] ~docv:"PREFIX"
+          ~doc:
+            "Flight-recorder dump file prefix: on an anomaly (e.g. a \
+             kappa-consistency violation) the last events plus a metrics dump are \
+             written to $(docv)NNNN.json.")
+  in
+  let no_flight =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:
+            "Disable the always-on flight recorder (and, absent $(b,--metrics) / \
+             $(b,--trace), all observability overhead).")
+  in
+  Term.(
+    const (fun m t fp nf -> (m, t, (if nf then None else Some fp)))
+    $ metrics $ trace $ flight $ no_flight)
 
-let with_observability (metrics_path, trace_path) f =
-  match (metrics_path, trace_path) with
-  | None, None -> f ()
+let with_observability (metrics_path, trace_path, flight_prefix) f =
+  match (metrics_path, trace_path, flight_prefix) with
+  | None, None, None -> f ()
   | _ ->
       let registry = Option.map (fun _ -> Metrics.create ()) metrics_path in
       let tracer = Option.map Tracer.to_file trace_path in
-      let scope = Scope.make ?metrics:registry ?tracer () in
+      let flight = Option.map (fun prefix -> Flight.create ~prefix ()) flight_prefix in
+      let scope = Scope.make ?metrics:registry ?tracer ?flight () in
       Pool.set_scope scope;
       Fun.protect
         ~finally:(fun () ->
@@ -90,7 +114,14 @@ let with_observability (metrics_path, trace_path) f =
           close_out oc;
           Printf.printf "metrics written to %s\n" path
       | _ -> ());
-      Option.iter (fun path -> Printf.printf "trace written to %s\n" path) trace_path
+      Option.iter (fun path -> Printf.printf "trace written to %s\n" path) trace_path;
+      Option.iter
+        (fun fl ->
+          if Flight.dumps fl > 0 then
+            Printf.eprintf "flight recorder: %d anomaly dump(s), last %s\n"
+              (Flight.dumps fl)
+              (Option.value ~default:"?" (Flight.last_dump fl)))
+        flight
 
 (* fruitchain list *)
 let list_cmd =
@@ -211,6 +242,14 @@ let sim_cmd =
     let c = Consistency.measure trace in
     Format.printf "consistency: max divergence %d, max rollback %d@."
       c.Consistency.max_pairwise_divergence c.Consistency.max_future_rollback;
+    if c.Consistency.max_pairwise_divergence > kappa || c.Consistency.max_future_rollback > kappa
+    then
+      Scope.anomaly (Trace.scope trace) ~reason:"consistency.kappa"
+        [
+          ("kappa", Json.Int kappa);
+          ("max_divergence", Json.Int c.Consistency.max_pairwise_divergence);
+          ("max_rollback", Json.Int c.Consistency.max_future_rollback);
+        ];
     Option.iter
       (fun path ->
         Snapshot.save_chain ~path chain;
@@ -256,17 +295,99 @@ let report_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Artifact file.")
   in
-  let run path =
+  let ev_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ev" ] ~docv:"NAME"
+          ~doc:"Print only JSONL trace events named $(docv), raw, instead of a summary.")
+  in
+  let last_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Print only the final $(docv) matching trace lines, raw, instead of a summary.")
+  in
+  let run path ev last =
     let ic = open_in_bin path in
     let content = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match Report.summarize content with
-    | Ok s -> print_string s
-    | Error e ->
-        Printf.eprintf "report: %s: %s\n" path e;
-        exit 1
+    match (ev, last) with
+    | None, None -> (
+        match Report.summarize content with
+        | Ok s -> print_string s
+        | Error e ->
+            Printf.eprintf "report: %s: %s\n" path e;
+            exit 1)
+    | _ -> (
+        match Report.filter_trace ?ev ?last content with
+        | Ok lines -> List.iter print_endline lines
+        | Error e ->
+            Printf.eprintf "report: %s: %s\n" path e;
+            exit 1)
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ ev_arg $ last_arg)
+
+(* fruitchain analyze FILE / fruitchain analyze --diff A B *)
+let analyze_cmd =
+  let doc =
+    "Analyze a JSONL trace (fruittrace): fruit pending-time distributions vs the \
+     recency bound, block propagation latency vs delta, reorg depth/duration, \
+     per-party win share over round windows, anomaly counts. With $(b,--diff), \
+     compare two traces' summaries column by column (exit 1 on any difference)."
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Trace file(s).")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:"Compare the summaries of exactly two traces; print one line per \
+                differing column, nothing when they agree.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the canonical JSON summary instead of text.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Win-share window in rounds (default: rounds/10).")
+  in
+  let read_lines path =
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    String.split_on_char '\n' content |> List.filter (fun l -> String.trim l <> "")
+  in
+  let run diff json window files =
+    match (diff, files) with
+    | false, [ path ] ->
+        let summary = Analyze.summarize ?window (read_lines path) in
+        if json then print_endline (Json.to_string summary)
+        else print_string (Analyze.render summary)
+    | true, [ a; b ] -> (
+        let sa = Analyze.summarize ?window (read_lines a) in
+        let sb = Analyze.summarize ?window (read_lines b) in
+        match Analyze.diff sa sb with
+        | [] -> ()
+        | diffs ->
+            List.iter print_endline diffs;
+            exit 1)
+    | false, _ ->
+        Printf.eprintf "analyze: expected exactly one FILE (or --diff A B)\n";
+        exit 2
+    | true, _ ->
+        Printf.eprintf "analyze --diff: expected exactly two FILEs\n";
+        exit 2
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ diff_arg $ json_arg $ window_arg $ files_arg)
 
 (* fruitchain scenario validate FILE / fruitchain scenario run FILE *)
 module Scenario = Fruitchain_scenario.Scenario
@@ -323,6 +444,7 @@ let scenario_cmd =
 let main =
   let doc = "FruitChains (Pass & Shi, PODC'17) reproduction toolkit" in
   let info = Cmd.info "fruitchain" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; all_cmd; sim_cmd; inspect_cmd; report_cmd; scenario_cmd ]
+  Cmd.group info
+    [ list_cmd; run_cmd; all_cmd; sim_cmd; inspect_cmd; report_cmd; analyze_cmd; scenario_cmd ]
 
 let () = exit (Cmd.eval main)

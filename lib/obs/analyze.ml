@@ -1,0 +1,386 @@
+(* Offline trace analyzer (fruittrace).
+
+   Consumes a JSONL trace (the [--trace] artifact of sim/run/scenario/
+   bench) and reduces the span and mint events to the distributions the
+   paper's timeliness lemmas talk about: fruit pending time against the
+   recency window, block propagation latency against Δ, reorg depth and
+   duration, and per-party win share over round windows.
+
+   The summary is canonical JSON ([fruitchains-analyze/1]): field order
+   fixed, percentiles exact nearest-rank over integer samples, so two
+   analyses of byte-identical traces are byte-identical — which is what
+   lets [--diff] of a jobs-1 and a jobs-4 trace assert emptiness in CI.
+
+   This module takes trace *lines*, not a path: file reads under lib/
+   belong to the loader (fruitlint R7); the [analyze] subcommand in bin
+   does the IO. *)
+
+type dist = { mutable samples : int list; mutable count : int }
+
+let dist () = { samples = []; count = 0 }
+
+let observe d v =
+  if v >= 0 then begin
+    d.samples <- v :: d.samples;
+    d.count <- d.count + 1
+  end
+
+(* Exact nearest-rank percentile: smallest sample with at least q% of the
+   mass at or below it. *)
+let percentile sorted q =
+  let len = Array.length sorted in
+  if len = 0 then -1
+  else
+    let idx = ((q * len + 99) / 100) - 1 in
+    sorted.(max 0 (min (len - 1) idx))
+
+let dist_json d =
+  let sorted = Array.of_list d.samples in
+  Array.sort Int.compare sorted;
+  let maxv = if Array.length sorted = 0 then -1 else sorted.(Array.length sorted - 1) in
+  Json.Obj
+    [
+      ("count", Json.Int d.count);
+      ("p50", Json.Int (percentile sorted 50));
+      ("p95", Json.Int (percentile sorted 95));
+      ("p99", Json.Int (percentile sorted 99));
+      ("max", Json.Int maxv);
+    ]
+
+let geti name json = match Option.bind (Json.member name json) Json.to_int with
+  | Some v -> v
+  | None -> -1
+
+let gets name json = match Option.bind (Json.member name json) Json.to_str with
+  | Some v -> v
+  | None -> ""
+
+let share total count =
+  if total = 0 then 0.0 else float_of_int count /. float_of_int total
+
+let summarize ?window lines =
+  (* Stream state: the trace may concatenate several runs; delta/recency
+     follow the most recent run.start so spans are judged against the
+     parameters of the run that produced them. *)
+  let runs = ref 0 and rounds = ref 0 and n = ref 0 in
+  let delta = ref (-1) and kappa = ref (-1) and recency = ref (-1) in
+  let fruit_spans = ref 0 and referenced = ref 0 and stable = ref 0 in
+  let over_recency = ref 0 in
+  let pending = dist () and gossip = dist () in
+  let block_spans = ref 0 and adopted = ref 0 and deliveries = ref 0 in
+  let over_delta = ref 0 in
+  let delivery = dist () and adoption = dist () in
+  let reorgs = ref 0 and max_depth = ref 0 and max_duration = ref 0 in
+  let depth_counts = Hashtbl.create 16 in
+  let mint_events = ref 0 and mint_fruits = ref 0 and mint_blocks = ref 0 in
+  let mint_honest = ref 0 and mint_adversary = ref 0 in
+  let mints = ref [] (* (round, miner) newest-first *) in
+  let anomalies = ref 0 in
+  let reasons = Hashtbl.create 8 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  let parse_errors = ref 0 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 then
+        match Json.of_string line with
+        | Error _ -> incr parse_errors
+        | Ok json -> (
+            match gets "ev" json with
+            | "run.start" ->
+                incr runs;
+                rounds := max !rounds (geti "rounds" json);
+                n := max !n (geti "n" json);
+                delta := geti "delta" json;
+                kappa := geti "kappa" json;
+                recency := geti "recency" json
+            | "span.close" -> (
+                match gets "entity" json with
+                | "fruit" ->
+                    incr fruit_spans;
+                    let p = geti "pending" json in
+                    if geti "referenced" json >= 0 then incr referenced;
+                    if geti "stable" json >= 0 then incr stable;
+                    observe pending p;
+                    observe gossip (
+                      let g = geti "gossiped" json and m = geti "mined" json in
+                      if g >= 0 && m >= 0 then g - m else -1);
+                    if !recency >= 0 && p > !recency then incr over_recency
+                | "block" ->
+                    incr block_spans;
+                    if geti "adopted" json >= 0 then incr adopted;
+                    deliveries := !deliveries + max 0 (geti "deliveries" json);
+                    let l = geti "latency" json in
+                    observe delivery l;
+                    observe adoption (
+                      let a = geti "adopted" json and m = geti "mined" json in
+                      if a >= 0 && m >= 0 then a - m else -1);
+                    if !delta >= 0 && l > !delta then incr over_delta
+                | "reorg" ->
+                    incr reorgs;
+                    let d = geti "depth" json and du = geti "duration" json in
+                    if d > !max_depth then max_depth := d;
+                    if du > !max_duration then max_duration := du;
+                    bump depth_counts d
+                | _ -> ())
+            | "mint" ->
+                incr mint_events;
+                (match gets "kind" json with
+                | "fruit" -> incr mint_fruits
+                | "block" -> incr mint_blocks
+                | _ -> ());
+                (match Option.bind (Json.member "honest" json) Json.to_bool with
+                | Some true -> incr mint_honest
+                | Some false -> incr mint_adversary
+                | None -> ());
+                mints := (geti "round" json, geti "miner" json) :: !mints
+            | "anomaly" ->
+                incr anomalies;
+                bump reasons (gets "reason" json)
+            | _ -> ()))
+    lines;
+  let window =
+    match window with Some w when w > 0 -> w | _ -> max 1 (!rounds / 10)
+  in
+  let sorted_assoc tbl cmp =
+    List.sort (fun (a, _) (b, _) -> cmp a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  (* Per-party win share, overall and per window: the decentralization
+     lens — a fair chain keeps every window's top share near 1/n. *)
+  let per_party = Hashtbl.create 64 in
+  let per_window = Hashtbl.create 64 in
+  List.iter
+    (fun (round, miner) ->
+      if miner >= -1 && round >= 0 then begin
+        bump per_party miner;
+        let w = round / window in
+        let tbl =
+          match Hashtbl.find_opt per_window w with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 8 in
+              Hashtbl.replace per_window w t;
+              t
+        in
+        bump tbl miner
+      end)
+    !mints;
+  let total_mints = Hashtbl.fold (fun _ v acc -> acc + v) per_party 0 in
+  let parties_json =
+    Json.List
+      (List.map
+         (fun (party, count) ->
+           Json.Obj
+             [
+               ("party", Json.Int party);
+               ("mints", Json.Int count);
+               ("share", Json.Float (share total_mints count));
+             ])
+         (sorted_assoc per_party Int.compare))
+  in
+  let windows_json =
+    Json.List
+      (List.map
+         (fun (w, tbl) ->
+           let total = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 in
+           let top_party, top_count =
+             List.fold_left
+               (fun (bp, bc) (p, c) -> if c > bc then (p, c) else (bp, bc))
+               (-2, 0)
+               (sorted_assoc tbl Int.compare)
+           in
+           Json.Obj
+             [
+               ("start", Json.Int (w * window));
+               ("mints", Json.Int total);
+               ("top_party", Json.Int top_party);
+               ("top_share", Json.Float (share total top_count));
+             ])
+         (sorted_assoc per_window Int.compare))
+  in
+  let reasons_json =
+    Json.List
+      (List.map
+         (fun (reason, count) ->
+           Json.Obj [ ("reason", Json.Str reason); ("count", Json.Int count) ])
+         (sorted_assoc reasons String.compare))
+  in
+  let depths_json =
+    Json.List
+      (List.map
+         (fun (d, c) -> Json.List [ Json.Int d; Json.Int c ])
+         (sorted_assoc depth_counts Int.compare))
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "fruitchains-analyze/1");
+      ( "meta",
+        Json.Obj
+          [
+            ("runs", Json.Int !runs);
+            ("rounds", Json.Int !rounds);
+            ("n", Json.Int !n);
+            ("delta", Json.Int !delta);
+            ("kappa", Json.Int !kappa);
+            ("recency", Json.Int !recency);
+            ("parse_errors", Json.Int !parse_errors);
+          ] );
+      ( "fruits",
+        Json.Obj
+          [
+            ("spans", Json.Int !fruit_spans);
+            ("referenced", Json.Int !referenced);
+            ("stable", Json.Int !stable);
+            ("over_recency", Json.Int !over_recency);
+            ("pending", dist_json pending);
+            ("gossip", dist_json gossip);
+          ] );
+      ( "blocks",
+        Json.Obj
+          [
+            ("spans", Json.Int !block_spans);
+            ("adopted", Json.Int !adopted);
+            ("deliveries", Json.Int !deliveries);
+            ("over_delta", Json.Int !over_delta);
+            ("delivery_latency", dist_json delivery);
+            ("adoption_latency", dist_json adoption);
+          ] );
+      ( "reorgs",
+        Json.Obj
+          [
+            ("spans", Json.Int !reorgs);
+            ("max_depth", Json.Int !max_depth);
+            ("max_duration", Json.Int !max_duration);
+            ("depths", depths_json);
+          ] );
+      ( "mints",
+        Json.Obj
+          [
+            ("events", Json.Int !mint_events);
+            ("fruits", Json.Int !mint_fruits);
+            ("blocks", Json.Int !mint_blocks);
+            ("honest", Json.Int !mint_honest);
+            ("adversary", Json.Int !mint_adversary);
+          ] );
+      ( "win_share",
+        Json.Obj
+          [
+            ("window", Json.Int window);
+            ("parties", parties_json);
+            ("windows", windows_json);
+          ] );
+      ( "anomalies",
+        Json.Obj [ ("count", Json.Int !anomalies); ("reasons", reasons_json) ] );
+    ]
+
+(* Text rendering, derived from the summary JSON so the two output modes
+   can never disagree. *)
+
+let render summary =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let sec name = match Json.member name summary with Some o -> o | None -> Json.Obj [] in
+  let meta = sec "meta" in
+  let fruits = sec "fruits" and blocks = sec "blocks" in
+  let reorgs = sec "reorgs" and mints = sec "mints" in
+  let ws = sec "win_share" and anomalies = sec "anomalies" in
+  let dist_line label d =
+    line "  %-10s count %-6d p50 %-5d p95 %-5d p99 %-5d max %d" label
+      (geti "count" d) (geti "p50" d) (geti "p95" d) (geti "p99" d) (geti "max" d)
+  in
+  let sub name o = match Json.member name o with Some d -> d | None -> Json.Obj [] in
+  line "fruittrace analyze (%s)" (gets "schema" summary);
+  line "meta        runs %d  rounds %d  n %d  delta %d  kappa %d  recency %d"
+    (geti "runs" meta) (geti "rounds" meta) (geti "n" meta) (geti "delta" meta)
+    (geti "kappa" meta) (geti "recency" meta);
+  line "fruits      spans %d  referenced %d  stable %d  over-recency %d"
+    (geti "spans" fruits) (geti "referenced" fruits) (geti "stable" fruits)
+    (geti "over_recency" fruits);
+  dist_line "pending" (sub "pending" fruits);
+  dist_line "gossip" (sub "gossip" fruits);
+  line "blocks      spans %d  adopted %d  deliveries %d  over-delta %d"
+    (geti "spans" blocks) (geti "adopted" blocks) (geti "deliveries" blocks)
+    (geti "over_delta" blocks);
+  dist_line "delivery" (sub "delivery_latency" blocks);
+  dist_line "adoption" (sub "adoption_latency" blocks);
+  line "reorgs      spans %d  max-depth %d  max-duration %d" (geti "spans" reorgs)
+    (geti "max_depth" reorgs) (geti "max_duration" reorgs);
+  (match Option.bind (Json.member "depths" reorgs) Json.to_list with
+  | Some (_ :: _ as depths) ->
+      List.iter
+        (fun entry ->
+          match Json.to_list entry with
+          | Some [ Json.Int d; Json.Int c ] -> line "  depth %-3d x%d" d c
+          | Some _ | None -> ())
+        depths
+  | Some [] | None -> ());
+  line "mints       events %d  fruits %d  blocks %d  honest %d  adversary %d"
+    (geti "events" mints) (geti "fruits" mints) (geti "blocks" mints)
+    (geti "honest" mints) (geti "adversary" mints);
+  line "win share   window %d rounds" (geti "window" ws);
+  (match Option.bind (Json.member "parties" ws) Json.to_list with
+  | Some parties ->
+      List.iter
+        (fun p ->
+          let shr =
+            match Option.bind (Json.member "share" p) Json.to_float with
+            | Some f -> 100.0 *. f
+            | None -> 0.0
+          in
+          line "  party %-4d mints %-6d share %5.1f%%" (geti "party" p)
+            (geti "mints" p) shr)
+        parties
+  | None -> ());
+  (match Option.bind (Json.member "windows" ws) Json.to_list with
+  | Some windows ->
+      List.iter
+        (fun w ->
+          let shr =
+            match Option.bind (Json.member "top_share" w) Json.to_float with
+            | Some f -> 100.0 *. f
+            | None -> 0.0
+          in
+          line "  window @%-7d mints %-6d top party %-4d top share %5.1f%%"
+            (geti "start" w) (geti "mints" w) (geti "top_party" w) shr)
+        windows
+  | None -> ());
+  line "anomalies   %d" (geti "count" anomalies);
+  (match Option.bind (Json.member "reasons" anomalies) Json.to_list with
+  | Some reasons ->
+      List.iter
+        (fun r -> line "  %s x%d" (gets "reason" r) (geti "count" r))
+        reasons
+  | None -> ());
+  Buffer.contents buf
+
+(* Column-by-column diff of two summaries: every leaf where the values
+   disagree yields one "path: a vs b" line. Canonical rendering makes
+   string equality the right leaf comparison. *)
+
+let rec diff_at path a b acc =
+  match (a, b) with
+  | Json.Obj fa, Json.Obj fb ->
+      let keys =
+        fa |> List.map fst
+        |> fun ka -> ka @ List.filter (fun k -> not (List.mem k ka)) (List.map fst fb)
+      in
+      List.fold_left
+        (fun acc key ->
+          let sub = if path = "" then key else path ^ "." ^ key in
+          match (Json.member key a, Json.member key b) with
+          | Some va, Some vb -> diff_at sub va vb acc
+          | Some va, None -> (sub ^ ": " ^ Json.to_string va ^ " vs <absent>") :: acc
+          | None, Some vb -> (sub ^ ": <absent> vs " ^ Json.to_string vb) :: acc
+          | None, None -> acc)
+        acc keys
+  | Json.List la, Json.List lb when List.length la = List.length lb ->
+      List.fold_left
+        (fun (i, acc) (va, vb) ->
+          (i + 1, diff_at (Printf.sprintf "%s[%d]" path i) va vb acc))
+        (0, acc) (List.combine la lb)
+      |> snd
+  | _ ->
+      let sa = Json.to_string a and sb = Json.to_string b in
+      if String.equal sa sb then acc else (path ^ ": " ^ sa ^ " vs " ^ sb) :: acc
+
+let diff a b = List.rev (diff_at "" a b [])

@@ -1,0 +1,26 @@
+(** Offline trace analyzer (fruittrace).
+
+    Reduces a JSONL trace to the distributions the paper's timeliness
+    lemmas bound: fruit pending times vs the recency window, block
+    propagation latency vs Δ, reorg depth/duration, per-party win share
+    over round windows, and anomaly counts. The summary is canonical
+    JSON (schema ["fruitchains-analyze/1"]) with exact nearest-rank
+    percentiles, so analyses of byte-identical traces are
+    byte-identical.
+
+    Takes trace {e lines} (fruitlint R7 keeps file reads out of lib/);
+    the [analyze] subcommand does the IO. *)
+
+val summarize : ?window:int -> string list -> Json.t
+(** [summarize lines] folds the trace into the summary object.
+    [?window] is the win-share window in rounds (default:
+    [max 1 (rounds / 10)]). Unparseable lines are counted in
+    [meta.parse_errors], unknown events ignored. *)
+
+val render : Json.t -> string
+(** Human-readable rendering of a summary, derived from the JSON so the
+    two output modes cannot disagree. *)
+
+val diff : Json.t -> Json.t -> string list
+(** Leaf-by-leaf comparison of two summaries: one ["path: a vs b"] line
+    per disagreeing column, [[]] iff equal. *)

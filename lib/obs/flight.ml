@@ -1,0 +1,58 @@
+(* Flight recorder: an always-on ring of recent trace events plus a
+   dump-on-anomaly hook.
+
+   Every event the scope emits is also appended (pre-rendered) to this
+   ring, whether or not a user-facing tracer is attached.  When an
+   anomaly fires — a consistency/quality violation, a scenario
+   diagnostic, an engine assertion — {!dump} snapshots the last N events
+   plus an optional metrics dump into a post-mortem JSON artifact, so
+   the lead-up to the violation survives instead of vanishing with the
+   process.
+
+   Dump files are numbered [<prefix><seq>.json]; the sequence is per
+   recorder, and anomalies are observed in merge order (unit-index
+   order), so the artifact set is deterministic at any --jobs value.
+   The payload is assembled textually: ring lines are already canonical
+   JSON objects, so joining them with commas inside an array is itself
+   canonical and avoids re-parsing on the hot-anomaly path. *)
+
+type t = {
+  ring : Tracer.t;
+  prefix : string;
+  mutable seq : int;
+  mutable last_path : string option;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) ~prefix () =
+  { ring = Tracer.ring capacity; prefix; seq = 0; last_path = None }
+
+let record t line = Tracer.append_line t.ring line
+let dumps t = t.seq
+let last_dump t = t.last_path
+
+let dump ?metrics t ~reason () =
+  let path = Printf.sprintf "%s%04d.json" t.prefix t.seq in
+  t.seq <- t.seq + 1;
+  t.last_path <- Some path;
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"schema\":\"fruitchains-flight/1\",\"seq\":";
+  Buffer.add_string buf (string_of_int (t.seq - 1));
+  Buffer.add_string buf ",\"reason\":";
+  Buffer.add_string buf (Json.to_string (Json.Str reason));
+  Buffer.add_string buf ",\"events\":[";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf line)
+    (Tracer.lines t.ring);
+  Buffer.add_string buf "],\"metrics\":";
+  (match metrics with
+  | Some m -> Buffer.add_string buf (Json.to_string (Metrics.to_json m))
+  | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  path

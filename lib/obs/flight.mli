@@ -1,0 +1,31 @@
+(** Flight recorder: an always-on ring of recent trace events with a
+    dump-on-anomaly hook.
+
+    A recorder keeps the last N rendered trace lines in memory at
+    near-zero cost. When an anomaly fires (κ-violation, scenario
+    diagnostic, engine assertion), {!dump} writes a post-mortem artifact
+    [<prefix><seq>.json] holding the schema tag
+    ["fruitchains-flight/1"], the anomaly reason, the buffered events
+    (oldest first), and an optional metrics dump. Anomalies are
+    processed in unit-index merge order, so the artifact set is
+    deterministic at any [--jobs] value. *)
+
+type t
+
+val default_capacity : int
+(** 4096 events. *)
+
+val create : ?capacity:int -> prefix:string -> unit -> t
+
+val record : t -> string -> unit
+(** Append one already-rendered JSONL event line to the ring. *)
+
+val dump : ?metrics:Metrics.t -> t -> reason:string -> unit -> string
+(** Snapshot the ring (plus [metrics], if given) to the next numbered
+    dump file and return its path. *)
+
+val dumps : t -> int
+(** Dump files written so far. *)
+
+val last_dump : t -> string option
+(** Path of the most recent dump, if any. *)

@@ -107,6 +107,27 @@ let observe_many h v ~count =
 let histogram_count h = Array.fold_left ( + ) 0 h.counts
 let histogram_sum h = h.sum
 
+(* Nearest-rank quantile over the deterministic bucket counts: the upper
+   bound of the bucket holding the q-th percentile observation. [None]
+   for an empty histogram or when the rank lands in the unbounded
+   overflow bucket — the dump prints those as null rather than invent a
+   bound. *)
+let histogram_quantile h q =
+  if q < 0 || q > 100 then invalid_arg "Metrics.histogram_quantile: q must be in [0,100]";
+  let total = histogram_count h in
+  if total = 0 then None
+  else begin
+    let rank = max 1 (((q * total) + 99) / 100) in
+    let nb = Array.length h.buckets in
+    let rec walk i acc =
+      if i >= nb then None
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then Some h.buckets.(i) else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
 let get_counter t name =
   match Hashtbl.find_opt t name with Some (C c) -> Some c.count | Some _ | None -> None
 
@@ -150,7 +171,12 @@ let to_json ?(all = false) t =
       | Some (G g) ->
           if keep g.g_golden then gauges := (name, Json.Float g.value) :: !gauges
       | Some (H h) ->
-          if keep h.h_golden then
+          if keep h.h_golden then begin
+            let quantile q =
+              match histogram_quantile h q with
+              | Some v -> Json.Int v
+              | None -> Json.Null
+            in
             histograms :=
               ( name,
                 Json.Obj
@@ -159,8 +185,12 @@ let to_json ?(all = false) t =
                     ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
                     ("count", Json.Int (histogram_count h));
                     ("sum", Json.Int h.sum);
+                    ("p50", quantile 50);
+                    ("p95", quantile 95);
+                    ("p99", quantile 99);
                   ] )
-              :: !histograms)
+              :: !histograms
+          end)
     (List.rev (sorted_names t));
   Json.Obj
     [

@@ -47,6 +47,12 @@ val observe_many : histogram -> int -> count:int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 
+val histogram_quantile : histogram -> int -> int option
+(** Nearest-rank quantile from the bucket counts: the upper bound of the
+    bucket holding the q-th percentile observation (q in [0,100]).
+    [None] for an empty histogram or a rank in the unbounded overflow
+    bucket. Deterministic — dumps stay golden-safe. *)
+
 val get_counter : t -> string -> int option
 (** Current value of a counter by name, if registered as one. *)
 

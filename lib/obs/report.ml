@@ -49,7 +49,19 @@ let render_histogram name j buf =
   in
   let count = int_of (Option.value ~default:Json.Null (Json.member "count" j)) in
   let sum = int_of (Option.value ~default:Json.Null (Json.member "sum" j)) in
-  Buffer.add_string buf (fmt "  %-32s count=%d sum=%d\n" name count sum);
+  (* Quantiles appear in dumps from this version on; "-" marks an empty
+     histogram or a rank in the unbounded overflow bucket (null). *)
+  let quantile q =
+    match Json.member q j with
+    | Some (Json.Int v) -> string_of_int v
+    | Some Json.Null -> "-"
+    | Some _ | None -> "?"
+  in
+  let quantiles =
+    if Json.member "p50" j = None then ""
+    else fmt " p50=%s p95=%s p99=%s" (quantile "p50") (quantile "p95") (quantile "p99")
+  in
+  Buffer.add_string buf (fmt "  %-32s count=%d sum=%d%s\n" name count sum quantiles);
   List.iteri
     (fun i c ->
       if c > 0 then
@@ -135,14 +147,51 @@ let render_bench j =
       Buffer.add_string buf "experiments:\n";
       List.iter
         (fun e ->
+          let throughput =
+            match Json.member "events_per_sec" e with
+            | Some v -> fmt " %10.0f ev/s" (float_of v)
+            | None -> ""
+          in
           Buffer.add_string buf
-            (fmt "  %-5s %7.2fs wall %7.2fs cpu\n"
+            (fmt "  %-5s %7.2fs wall %7.2fs cpu%s\n"
                (str_of (get "id" e))
                (float_of (get "wall_s" e))
-               (float_of (get "cpu_s" e))))
+               (float_of (get "cpu_s" e))
+               throughput))
         exps
   | Some _ | None -> ());
   Buffer.contents buf
+
+(* --- trace filters ------------------------------------------------------ *)
+
+let filter_trace ?ev ?last content =
+  let lines = non_empty_lines content in
+  if lines = [] then Error "empty file"
+  else begin
+    let matched =
+      match ev with
+      | None -> lines
+      | Some name ->
+          List.filter
+            (fun l ->
+              match Json.of_string l with
+              | Ok j -> (
+                  match Option.bind (Json.member "ev" j) Json.to_str with
+                  | Some n -> String.equal n name
+                  | None -> false)
+              | Error _ -> false)
+            lines
+    in
+    let matched =
+      match last with
+      | None -> matched
+      | Some n when n <= 0 -> []
+      | Some n ->
+          let len = List.length matched in
+          if len <= n then matched else List.filteri (fun i _ -> i >= len - n) matched
+    in
+    Ok matched
+  end
 
 let summarize content =
   match classify content with

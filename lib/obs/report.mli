@@ -16,3 +16,8 @@ val classify : string -> (kind * Json.t list, string) result
 
 val summarize : string -> (string, string) result
 (** Render the artifact as a short human-readable summary. *)
+
+val filter_trace : ?ev:string -> ?last:int -> string -> (string list, string) result
+(** Select raw JSONL trace lines byte-for-byte: [?ev] keeps events of
+    that name, [?last] keeps the final [n] of what remains. Lines that
+    fail to parse never match an [?ev] filter. *)

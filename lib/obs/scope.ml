@@ -1,27 +1,57 @@
-(* A scope bundles the two fruitscope channels — a metrics registry and a
-   tracer — so instrumented components thread one value.  [null] is the
-   disabled scope every entry point defaults to.
+(* A scope bundles the fruitscope channels — a metrics registry, a
+   tracer, and the flight recorder — so instrumented components thread
+   one value.  [null] is the disabled scope every entry point defaults
+   to.
 
    Fork/join: a parallel work unit gets [fork parent] — a fresh registry
    plus a buffering tracer — and the pool applies [merge_child] in
    unit-index order after the join.  Because counter/histogram merge is
    addition and gauge merge is last-writer-in-index-order, the merged
    parent is byte-identical to what a sequential run of the same units
-   would have accumulated directly. *)
+   would have accumulated directly.
 
-type t = { metrics : Metrics.t option; tracer : Tracer.t option }
+   The flight recorder lives only on the parent scope: a child cannot
+   write dump files without racing its siblings, so [anomaly] in a child
+   just emits an "anomaly" event into the child's buffer, and
+   [merge_child] — which runs sequentially, in unit-index order —
+   recognizes those lines while folding the buffer back and triggers the
+   dump there.  Dump artifacts are thereby byte-identical at any
+   worker count. *)
 
-let null = { metrics = None; tracer = None }
-let make ?metrics ?tracer () = { metrics; tracer }
+type t = {
+  metrics : Metrics.t option;
+  tracer : Tracer.t option;
+  flight : Flight.t option;
+}
+
+let null = { metrics = None; tracer = None; flight = None }
+let make ?metrics ?tracer ?flight () = { metrics; tracer; flight }
 let metrics t = t.metrics
 let tracer t = t.tracer
-let enabled t = Option.is_some t.metrics || Option.is_some t.tracer
+let flight t = t.flight
+
+let enabled t =
+  Option.is_some t.metrics || Option.is_some t.tracer || Option.is_some t.flight
 
 let tracing t =
-  match t.tracer with Some tr -> Tracer.enabled tr | None -> false
+  (match t.tracer with Some tr -> Tracer.enabled tr | None -> false)
+  || Option.is_some t.flight
 
 let emit t name fields =
-  match t.tracer with Some tr -> Tracer.emit tr name fields | None -> ()
+  match t.flight with
+  | None -> (
+      match t.tracer with Some tr -> Tracer.emit tr name fields | None -> ())
+  | Some fl ->
+      (* Render once, feed both sinks. *)
+      let line = Json.to_string (Json.Obj (("ev", Json.Str name) :: fields)) in
+      Flight.record fl line;
+      (match t.tracer with Some tr -> Tracer.append_line tr line | None -> ())
+
+let anomaly t ~reason fields =
+  emit t "anomaly" (("reason", Json.Str reason) :: fields);
+  match t.flight with
+  | Some fl -> ignore (Flight.dump ?metrics:t.metrics fl ~reason ())
+  | None -> ()
 
 let incr ?by ?golden t name =
   match t.metrics with
@@ -38,16 +68,51 @@ let fork t =
   else
     {
       metrics = Option.map (fun _ -> Metrics.create ()) t.metrics;
+      (* A flight-bearing parent needs every child event buffered even
+         when no user tracer is attached: the ring and the anomaly scan
+         happen at merge time. *)
       tracer =
-        Option.map
-          (fun tr -> if Tracer.enabled tr then Tracer.buffer () else Tracer.null)
-          t.tracer;
+        (match t.tracer with
+        | Some tr when Tracer.enabled tr -> Some (Tracer.buffer ())
+        | Some _ -> if Option.is_some t.flight then Some (Tracer.buffer ()) else Some Tracer.null
+        | None -> if Option.is_some t.flight then Some (Tracer.buffer ()) else None);
+      flight = None;
     }
 
+let anomaly_prefix = {|{"ev":"anomaly",|}
+
+let is_anomaly_line line =
+  String.length line >= String.length anomaly_prefix
+  && String.sub line 0 (String.length anomaly_prefix) = anomaly_prefix
+
+let anomaly_reason line =
+  match Json.of_string line with
+  | Ok json -> (
+      match Option.bind (Json.member "reason" json) Json.to_str with
+      | Some r -> r
+      | None -> "unknown")
+  | Error _ -> "unknown"
+
 let merge_child t ~child =
+  (* Metrics first: an anomaly dump triggered below should snapshot a
+     registry that already includes the child that raised it. *)
   (match (t.metrics, child.metrics) with
   | Some dst, Some src -> Metrics.merge_into ~dst src
   | (Some _ | None), _ -> ());
-  match (t.tracer, child.tracer) with
-  | Some dst, Some src -> List.iter (Tracer.append_line dst) (Tracer.lines src)
-  | (Some _ | None), _ -> ()
+  match child.tracer with
+  | None -> ()
+  | Some src ->
+      List.iter
+        (fun line ->
+          (match t.tracer with
+          | Some dst -> Tracer.append_line dst line
+          | None -> ());
+          match t.flight with
+          | None -> ()
+          | Some fl ->
+              Flight.record fl line;
+              if is_anomaly_line line then
+                ignore
+                  (Flight.dump ?metrics:t.metrics fl
+                     ~reason:(anomaly_reason line) ()))
+        (Tracer.lines src)

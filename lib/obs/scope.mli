@@ -1,28 +1,41 @@
-(** A fruitscope scope: the metrics registry and tracer of one execution
-    context, threaded as a single value through instrumented components.
+(** A fruitscope scope: the metrics registry, tracer, and flight
+    recorder of one execution context, threaded as a single value
+    through instrumented components.
 
     {!null} is the disabled scope — every instrumented entry point
     defaults to it and pays one branch per instrumentation site.  The
     parallel worker pool forks a child scope per work unit and merges
-    children back in unit-index order, which keeps metric dumps and
-    trace files byte-identical at any worker count (see DESIGN.md §10). *)
+    children back in unit-index order, which keeps metric dumps, trace
+    files, and flight-recorder artifacts byte-identical at any worker
+    count (see DESIGN.md §10, §15). *)
 
 type t
 
 val null : t
-val make : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> t
+val make : ?metrics:Metrics.t -> ?tracer:Tracer.t -> ?flight:Flight.t -> unit -> t
 val metrics : t -> Metrics.t option
 val tracer : t -> Tracer.t option
+val flight : t -> Flight.t option
 
 val enabled : t -> bool
-(** Whether anything (metrics or tracer) is attached — gate for
-    instrumentation work that is not worth doing into the void. *)
+(** Whether anything (metrics, tracer, or flight recorder) is attached —
+    gate for instrumentation work that is not worth doing into the void. *)
 
 val tracing : t -> bool
-(** Whether a live tracer is attached — gate before allocating event
-    field lists. *)
+(** Whether events are being kept — a live tracer or a flight recorder —
+    gate before allocating event field lists. *)
 
 val emit : t -> string -> (string * Json.t) list -> unit
+(** Emit one event to the tracer (if any) and the flight ring (if any);
+    with both attached the line is rendered once. *)
+
+val anomaly : t -> reason:string -> (string * Json.t) list -> unit
+(** Report an anomaly: emits an ["anomaly"] event carrying [reason] plus
+    the given fields, and — when a flight recorder is attached — dumps
+    the ring and metrics to a post-mortem artifact.  Inside a forked
+    child the event is buffered and the dump fires at merge time, in
+    unit-index order, so artifacts stay jobs-invariant. *)
+
 val incr : ?by:int -> ?golden:bool -> t -> string -> unit
 (** Counter bump by name; convenience for cold call sites (hot paths
     should resolve a {!Metrics.counter} once and use {!Metrics.incr}). *)
@@ -31,9 +44,11 @@ val set_gauge : ?golden:bool -> t -> string -> float -> unit
 
 val fork : t -> t
 (** Child scope for one parallel work unit: fresh registry, buffering
-    tracer. [fork null] is [null]. *)
+    tracer (also when only a flight recorder is attached — the parent
+    scans the buffer at merge time). [fork null] is [null]. *)
 
 val merge_child : t -> child:t -> unit
 (** Fold a child back into this scope: metrics merge by addition (gauges
-    last-writer-wins), buffered trace lines append to the parent sink.
+    last-writer-wins), buffered trace lines append to the parent tracer
+    and flight ring, and buffered anomaly events trigger flight dumps.
     Apply children in unit-index order. *)

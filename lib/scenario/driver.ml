@@ -108,6 +108,18 @@ let measure ~kappa ~index trace =
   let chain = Trace.honest_final_chain trace in
   let report = Consistency.measure trace in
   let pairwise, rollback = Consistency.violations report ~t0:kappa in
+  (* A κ-violation is exactly what the flight recorder exists for: raise
+     the anomaly through the trace's scope so the last N events and the
+     metrics land in a post-mortem dump (at merge time when this trial
+     ran on a pool worker — dumps stay jobs-invariant). *)
+  if pairwise + rollback > 0 then
+    Scope.anomaly (Trace.scope trace) ~reason:"consistency.kappa"
+      [
+        ("trial", Json.Int index);
+        ("kappa", Json.Int kappa);
+        ("max_divergence", Json.Int report.Consistency.max_pairwise_divergence);
+        ("max_rollback", Json.Int report.Consistency.max_future_rollback);
+      ];
   let honest_head =
     match Trace.honest_parties trace with
     | p :: _ -> Trace.final_head_of trace ~party:p

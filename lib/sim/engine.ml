@@ -52,7 +52,8 @@ let reorg_buckets = [| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 |]
    ancestor) or a switch, and records switch depths. Extensions walk
    [new height - old height] parent links; switches additionally walk to
    the fork point — both proportional to the change, not to the chain. *)
-let watch_heads ~scope ~store ~round ~parties ~prev_head ~prev_height =
+let watch_heads ~scope ~lifecycle ~store ~round ~parties ~prev_head ~prev_height
+    ~prev_change =
   Array.iteri
     (fun i p ->
       match head_of p with
@@ -76,6 +77,11 @@ let watch_heads ~scope ~store ~round ~parties ~prev_head ~prev_height =
                   Metrics.observe
                     (Metrics.histogram m ~buckets:reorg_buckets "sim.reorg_depth")
                     depth);
+              (match lifecycle with
+              | Some lc ->
+                  Lifecycle.reorg lc ~party:i ~round ~depth
+                    ~duration:(round - prev_change.(i))
+              | None -> ());
               if Scope.tracing scope then
                 Scope.emit scope "reorg"
                   [
@@ -85,8 +91,12 @@ let watch_heads ~scope ~store ~round ~parties ~prev_head ~prev_height =
                     ("height", Json.Int height);
                   ]
             end;
+            (match lifecycle with
+            | Some lc -> Lifecycle.adopted lc ~round (Store.hash_at store h)
+            | None -> ());
             prev_head.(i) <- h;
-            prev_height.(i) <- height
+            prev_height.(i) <- height;
+            prev_change.(i) <- round
           end)
     parties
 
@@ -157,6 +167,7 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
     }
   in
   let strat = Strategy.instantiate strategy ctx in
+  let lifecycle = Lifecycle.create ~scope ~store ~config () in
   if Scope.tracing scope then
     Scope.emit scope "run.start"
       [
@@ -164,11 +175,14 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
         ("n", Json.Int config.Config.n);
         ("rounds", Json.Int config.Config.rounds);
         ("delta", Json.Int config.Config.delta);
+        ("kappa", Json.Int config.Config.params.Params.kappa);
+        ("recency", Json.Int (Params.recency_window config.Config.params));
         ("seed", Json.Str (Int64.to_string config.Config.seed));
       ];
   let observing = Scope.enabled scope in
   let prev_head = Array.make config.Config.n Store.genesis_id in
   let prev_height = Array.make config.Config.n 0 in
+  let prev_change = Array.make config.Config.n 0 in
   (* Liveness probes model a submitted transaction: from its injection round
      until the next probe replaces it, every honest party keeps offering the
      probe record to its mining attempts (the mempool behaviour the liveness
@@ -236,6 +250,9 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
     let broadcasts = ref [] in
     for i = 0 to config.Config.n - 1 do
       let incoming = Network.drain network ~round ~recipient:i in
+      (match lifecycle with
+      | Some lc -> Lifecycle.on_incoming lc ~round incoming
+      | None -> ());
       match parties.(i) with
       | Corrupt -> () (* the adversary observes everything at send time *)
       | (Nak _ | Fruit _) as p ->
@@ -250,6 +267,9 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
             | Corrupt -> assert false
           in
           List.iter (Trace.record_event trace) (events_of_messages ~round ~miner:i out);
+          (match lifecycle with
+          | Some lc -> Lifecycle.on_outgoing lc out
+          | None -> ());
           List.iter
             (fun msg ->
               broadcasts := msg :: !broadcasts;
@@ -260,7 +280,8 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
     done;
     Strategy.act strat ~round ~honest_broadcasts:(List.rev !broadcasts);
     if observing then
-      watch_heads ~scope ~store ~round ~parties ~prev_head ~prev_height;
+      watch_heads ~scope ~lifecycle ~store ~round ~parties ~prev_head ~prev_height
+        ~prev_change;
     if round mod config.Config.snapshot_interval = 0 then begin
       let heights =
         Array.map
@@ -323,6 +344,9 @@ let run_with_oracle ~config ~strategy ~oracle ?(workload = fun ~round:_ ~party:_
       | i :: _ -> Store.height store final_heads.(i)
     in
     harvest ~scope ~config ~trace ~network ~oracle ~final_height;
+    (match lifecycle with
+    | Some lc -> Lifecycle.finalize lc ~trace
+    | None -> ());
     if Scope.tracing scope then
       Scope.emit scope "run.end"
         [

@@ -1,0 +1,155 @@
+(* Lifecycle glue: feeds the span tracker (Fruitchain_obs.Span) from both
+   engines' observation points.
+
+   The exact engine calls [on_outgoing] for a miner's fresh messages (span
+   opens at the mint round), [on_incoming] for each recipient's drained
+   messages (gossip / delivery marks), and [adopted]/[reorg] from its head
+   watcher.  The sparse engine has no per-message plane, so it calls the
+   batch hooks [fruit_mined]/[block_mined] with the delivery round and
+   recipient count its converged-delivery model implies.  Both paths
+   produce the same span schema — the exact-vs-sparse agreement test
+   holds the field sets equal.
+
+   Entities minted by the adversary never pass through [on_outgoing]
+   (strategies broadcast directly), so every observation point also opens
+   spans lazily from the entity's provenance — prov carries the true mint
+   round/miner, which keeps "mined" honest no matter which side of the
+   message the span is first seen from. *)
+
+open Fruitchain_chain
+module Message = Fruitchain_net.Message
+module Params = Fruitchain_core.Params
+module Scope = Fruitchain_obs.Scope
+module Span = Fruitchain_obs.Span
+
+type t = { span : Span.t; store : Store.t; kappa : int }
+
+let create ~scope ~store ~config () =
+  if Scope.tracing scope then
+    Some
+      {
+        span = Span.create ~scope ();
+        store;
+        kappa = Params.pointer_depth config.Config.params;
+      }
+  else None
+
+let short = Trace.short_hex
+
+let height_of t hash =
+  match Store.find_id t.store hash with
+  | Some id -> Store.height_at t.store id
+  | None -> -1
+
+let open_fruit t (f : Types.fruit) =
+  match f.Types.f_prov with
+  | Some pr ->
+      Span.fruit t.span ~id:(short f.Types.f_hash) ~round:pr.Types.round
+        ~miner:pr.Types.miner ~honest:pr.Types.honest
+  | None -> ()
+
+let open_block t (b : Types.block) =
+  match b.Types.b_prov with
+  | Some pr ->
+      Span.block t.span ~id:(short b.Types.b_hash) ~round:pr.Types.round
+        ~miner:pr.Types.miner ~honest:pr.Types.honest
+        ~height:(height_of t b.Types.b_hash)
+  | None -> ()
+
+let reference_fruits t (b : Types.block) =
+  match b.Types.fruits with
+  | [] -> ()
+  | fruits ->
+      let bround =
+        match b.Types.b_prov with Some pr -> pr.Types.round | None -> -1
+      in
+      List.iter
+        (fun (f : Types.fruit) ->
+          open_fruit t f;
+          Span.fruit_referenced t.span ~id:(short f.Types.f_hash) ~round:bround)
+        fruits
+
+let on_outgoing t msgs =
+  List.iter
+    (fun (m : Message.t) ->
+      if not m.Message.relay then
+        match m.Message.payload with
+        | Message.Fruit_announce f -> open_fruit t f
+        | Message.Chain_announce { blocks; _ } ->
+            List.iter
+              (fun b ->
+                open_block t b;
+                reference_fruits t b)
+              blocks)
+    msgs
+
+let on_incoming t ~round msgs =
+  List.iter
+    (fun (m : Message.t) ->
+      match m.Message.payload with
+      | Message.Fruit_announce f ->
+          open_fruit t f;
+          Span.fruit_gossiped t.span ~id:(short f.Types.f_hash) ~round
+      | Message.Chain_announce { blocks; _ } ->
+          List.iter
+            (fun (b : Types.block) ->
+              open_block t b;
+              Span.block_delivered t.span ~id:(short b.Types.b_hash) ~round
+                ~count:1;
+              reference_fruits t b)
+            blocks)
+    msgs
+
+let adopted t ~round hash = Span.block_adopted t.span ~id:(short hash) ~round
+
+let reorg t ~party ~round ~depth ~duration =
+  Span.reorg t.span ~party ~round ~depth ~duration
+
+(* Sparse-plane batch hooks: the converged chain delivers every mint to
+   all other parties exactly delta rounds later. *)
+
+let fruit_mined t ~gossiped (f : Types.fruit) =
+  open_fruit t f;
+  Span.fruit_gossiped t.span ~id:(short f.Types.f_hash) ~round:gossiped
+
+let block_mined t ~height ~adopted ~delivered ~recipients (b : Types.block) =
+  open_block t b;
+  let id = short b.Types.b_hash in
+  Span.block_height t.span ~id ~height;
+  Span.block_delivered t.span ~id ~round:delivered ~count:recipients;
+  (match adopted with
+  | Some r -> Span.block_adopted t.span ~id ~round:r
+  | None -> ());
+  reference_fruits t b
+
+(* End of run: walk the canonical chain once to back-fill what only the
+   final view decides — block heights, fruit reference rounds, and fruit
+   stability (the referencing block buried kappa deep; the stable round is
+   the mint round of the block kappa positions above) — then close every
+   span in open order. *)
+let finalize t ~trace =
+  (match Trace.honest_parties trace with
+  | [] -> ()
+  | _ :: _ ->
+      let chain = Array.of_list (Trace.honest_final_chain trace) in
+      Array.iteri
+        (fun h (b : Types.block) ->
+          Span.block_height t.span ~id:(short b.Types.b_hash) ~height:h;
+          if b.Types.fruits <> [] then begin
+            let stable_round =
+              if h + t.kappa < Array.length chain then
+                match chain.(h + t.kappa).Types.b_prov with
+                | Some pr -> pr.Types.round
+                | None -> -1
+              else -1
+            in
+            reference_fruits t b;
+            if stable_round >= 0 then
+              List.iter
+                (fun (f : Types.fruit) ->
+                  Span.fruit_stable t.span ~id:(short f.Types.f_hash)
+                    ~round:stable_round)
+                b.Types.fruits
+          end)
+        chain);
+  Span.close_all t.span

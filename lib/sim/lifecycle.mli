@@ -1,0 +1,57 @@
+(** Lifecycle glue between the engines and the span tracker
+    ({!Fruitchain_obs.Span}).
+
+    The exact engine feeds per-message hooks ({!on_outgoing},
+    {!on_incoming}) plus head-watcher marks ({!adopted}, {!reorg}); the
+    sparse engine feeds batch hooks ({!fruit_mined}, {!block_mined})
+    reflecting its converged-delivery model. Both produce the same span
+    schema. Every hook also opens spans lazily from entity provenance,
+    so adversary-minted entities (which never pass through
+    [on_outgoing]) still get correct mint rounds. *)
+
+open Fruitchain_chain
+module Message = Fruitchain_net.Message
+
+type t
+
+val create :
+  scope:Fruitchain_obs.Scope.t -> store:Store.t -> config:Config.t -> unit -> t option
+(** [None] unless the scope is tracing — callers branch once per hook. *)
+
+(** {1 Exact-engine hooks} *)
+
+val on_outgoing : t -> Message.t list -> unit
+(** A miner's fresh (non-relay) messages: opens fruit/block spans at the
+    mint round and marks referenced fruits. *)
+
+val on_incoming : t -> round:int -> Message.t list -> unit
+(** One recipient's drained messages at [round]: fruit gossip marks,
+    per-recipient block delivery marks, fruit reference marks. *)
+
+val adopted : t -> round:int -> Fruitchain_crypto.Hash.t -> unit
+(** A party's head moved to this block at [round]. *)
+
+val reorg : t -> party:int -> round:int -> depth:int -> duration:int -> unit
+
+(** {1 Sparse-engine batch hooks} *)
+
+val fruit_mined : t -> gossiped:int -> Types.fruit -> unit
+(** Mint + batch gossip: all other parties receive at [gossiped]. *)
+
+val block_mined :
+  t ->
+  height:int ->
+  adopted:int option ->
+  delivered:int ->
+  recipients:int ->
+  Types.block ->
+  unit
+(** Mint + batch delivery: [recipients] parties receive at [delivered];
+    [adopted] is the mint round for canonical blocks, [None] for
+    same-round siblings that never become a head. *)
+
+(** {1 Both engines} *)
+
+val finalize : t -> trace:Trace.t -> unit
+(** Walk the honest final chain to back-fill heights, reference rounds,
+    and fruit stability (buried κ deep), then close all spans. *)

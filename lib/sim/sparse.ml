@@ -108,6 +108,7 @@ let run ~config ?power ?power_schedule
   let gossip = ref config.Config.gossip_schedule in
   let powers = ref power_schedule in
   let observing = Scope.enabled scope in
+  let lifecycle = Lifecycle.create ~scope ~store ~config () in
   if Scope.tracing scope then
     Scope.emit scope "run.start"
       [
@@ -120,6 +121,8 @@ let run ~config ?power ?power_schedule
         ("n", Json.Int n);
         ("rounds", Json.Int rounds);
         ("delta", Json.Int config.Config.delta);
+        ("kappa", Json.Int params.Params.kappa);
+        ("recency", Json.Int (Params.recency_window params));
         ("seed", Json.Str (Int64.to_string config.Config.seed));
       ];
   let probe_round round =
@@ -189,6 +192,12 @@ let run ~config ?power ?power_schedule
     let id = Store.add_id store block in
     if not sibling then head_id := id;
     Trace.record_event trace { Trace.round; miner = winner; honest; kind = `Block; hash };
+    (match lifecycle with
+    | Some lc ->
+        Lifecycle.block_mined lc ~height:(Store.height_at store id)
+          ~adopted:(if sibling then None else Some round)
+          ~delivered:(round + config.Config.delta) ~recipients:(n - 1) block
+    | None -> ());
     Network.deliver_batch network ~count:(n - 1) ~delay:config.Config.delta
   in
   let mine_fruit ~round =
@@ -211,6 +220,9 @@ let run ~config ?power ?power_schedule
     in
     Queue.add { ready = round + config.Config.delta; fruit } pending;
     Trace.record_event trace { Trace.round; miner = winner; honest; kind = `Fruit; hash };
+    (match lifecycle with
+    | Some lc -> Lifecycle.fruit_mined lc ~gossiped:(round + config.Config.delta) fruit
+    | None -> ());
     Network.deliver_batch network ~count:(n - 1) ~delay:config.Config.delta
   in
   let process round =
@@ -379,6 +391,9 @@ let run ~config ?power ?power_schedule
         add "sim.mint.block.honest" !bh;
         add "sim.mint.block.adversary" !ba;
         Metrics.set (Metrics.gauge m "sim.final_height") (float_of_int final_height));
+    (match lifecycle with
+    | Some lc -> Lifecycle.finalize lc ~trace
+    | None -> ());
     if Scope.tracing scope then
       Scope.emit scope "run.end"
         [

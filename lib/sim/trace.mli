@@ -32,6 +32,9 @@ val scope : t -> Fruitchain_obs.Scope.t
 (** The run's observability scope — how adversary strategies reach the
     tracer/metrics without threading another value. *)
 
+val short_hex : Hash.t -> string
+(** 16-hex-char prefix — the entity id used in trace events and spans. *)
+
 (** {1 Recording (engine/strategy side)} *)
 
 val record_event : t -> event -> unit

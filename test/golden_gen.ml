@@ -37,6 +37,22 @@ let scenario_golden ~dump file =
         print_string (Fruitchain_util.Table.to_string (Driver.table s trials))
       end
 
+(* `golden_gen analyze FILE` pins the fruittrace analyzer's rendering of a
+   committed mini-trace: any drift in the span schema, the percentile
+   arithmetic, or the report layout shows up as a golden diff. *)
+let analyze_golden file =
+  let ic = open_in_bin file in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  print_string (Fruitchain_obs.Analyze.render (Fruitchain_obs.Analyze.summarize (List.rev !lines)))
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "scenario"; file ] ->
@@ -45,6 +61,7 @@ let () =
   | [ _; "scenario-metrics"; file ] ->
       Pool.set_default_jobs 2;
       scenario_golden ~dump:true file
+  | [ _; "analyze"; file ] -> analyze_golden file
   | [ _; id ] -> (
       Pool.set_default_jobs 2;
       match Registry.find id with
@@ -54,5 +71,6 @@ let () =
       | Some (module E) ->
           print_string (Format.asprintf "%a" Exp.print (E.run ~scale:Exp.Quick ())))
   | _ ->
-      prerr_endline "usage: golden_gen EXX | golden_gen scenario[-metrics] FILE";
+      prerr_endline
+        "usage: golden_gen EXX | golden_gen scenario[-metrics] FILE | golden_gen analyze FILE";
       exit 2

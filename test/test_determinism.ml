@@ -57,9 +57,10 @@ let test_repeat_stability (module E : Exp.EXPERIMENT) () =
 
 (* Fruitscope golden artifacts: worker count must also be invisible in the
    metric dump and in the merged trace stream (children merge in unit-index
-   order). A subset keeps the suite's runtime reasonable; these three cover
-   a Nakamoto sweep, a FruitChain sweep, and a parameter sweep. *)
-let scoped_ids = [ "E01"; "E02"; "E17"; "E22" ]
+   order). A subset keeps the suite's runtime reasonable; these cover a
+   Nakamoto sweep, a FruitChain sweep, a parameter sweep, and the
+   partition experiment whose traces now carry lifecycle spans. *)
+let scoped_ids = [ "E01"; "E02"; "E17"; "E19"; "E22" ]
 
 let test_scope_invariance (module E : Exp.EXPERIMENT) () =
   let seq_metrics, seq_trace = observe ~jobs:1 (module E) in

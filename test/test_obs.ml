@@ -130,8 +130,26 @@ let test_metrics_instruments () =
   Alcotest.(check int) "histogram count" 6 (Metrics.histogram_count h);
   Alcotest.(check int) "histogram sum" 109 (Metrics.histogram_sum h);
   Alcotest.(check string) "dump"
-    {|{"counters":{"runs":5},"gauges":{"height":17.0},"histograms":{"depth":{"buckets":[1,2,4],"counts":[2,1,2,1],"count":6,"sum":109}}}|}
+    {|{"counters":{"runs":5},"gauges":{"height":17.0},"histograms":{"depth":{"buckets":[1,2,4],"counts":[2,1,2,1],"count":6,"sum":109,"p50":2,"p95":null,"p99":null}}}|}
     (Metrics.dump m)
+
+(* Nearest-rank over cumulative bucket counts: the reported quantile is
+   the upper bound of the bucket holding the rank-th observation, [None]
+   once the rank falls in the overflow bucket. *)
+let test_metrics_histogram_quantile () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1; 2; 4 |] "q" in
+  Alcotest.(check (option int)) "empty histogram" None (Metrics.histogram_quantile h 50);
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 99 ];
+  Alcotest.(check (option int)) "p50 lands in bucket <=2" (Some 2)
+    (Metrics.histogram_quantile h 50);
+  Alcotest.(check (option int)) "p0 clamps to rank 1" (Some 1)
+    (Metrics.histogram_quantile h 0);
+  Alcotest.(check (option int)) "p100 is the overflow observation" None
+    (Metrics.histogram_quantile h 100);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.histogram_quantile: q must be in [0,100]") (fun () ->
+      ignore (Metrics.histogram_quantile h 101))
 
 let test_metrics_kind_mismatch () =
   let m = Metrics.create () in
@@ -413,6 +431,7 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "instruments" `Quick test_metrics_instruments;
+          Alcotest.test_case "histogram quantile" `Quick test_metrics_histogram_quantile;
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
           Alcotest.test_case "golden filter" `Quick test_metrics_golden_filter;
           Alcotest.test_case "gauge merge" `Quick test_metrics_merge_gauge_untouched;

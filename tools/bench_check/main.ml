@@ -1,4 +1,5 @@
-(* bench_check — guard against wall-clock regressions in the reproduction.
+(* bench_check — guard against wall-clock AND throughput regressions in
+   the reproduction.
 
    Usage:
 
@@ -7,14 +8,19 @@
    Both files are BENCH.json telemetry (schema fruitchains-bench/1, as
    written by `bench/main.exe --json`). The check fails (exit 1) when any
    experiment present in the baseline regresses by more than PCT percent
-   wall time (default 25) in the fresh run, or when an experiment
-   disappears, or when either file is malformed or the schemas/scales do
-   not match. Exit 2 on usage errors.
+   wall time (default 25) in the fresh run, when its events/s throughput
+   drops by more than the same factor, when the sparse-vs-exact engines
+   headline falls below its 100x speedup floor (absolute rates jitter
+   ~30% run-to-run, so the dimensionless ratio is the stable headline
+   gate), when an experiment disappears, or when either file is malformed
+   or the schemas/scales do not match. Exit 2 on usage errors.
 
    Sub-second experiments jitter by large relative factors on shared CI
-   hardware, so a regression only counts when it also exceeds an absolute
-   slack (default 0.1 s). Experiments new in the fresh run are reported
-   but do not fail the check — the next baseline refresh picks them up. *)
+   hardware, so both the wall and the throughput gate only count when the
+   baseline wall time exceeds an absolute slack (default 0.1 s).
+   Experiments new in the fresh run, and experiments whose baseline entry
+   predates the events/s fields, are reported but do not fail the check —
+   the next baseline refresh picks them up. *)
 
 module Json = Fruitchain_obs.Json
 
@@ -46,7 +52,8 @@ let str_field path doc name =
       Printf.eprintf "bench_check: %s: missing string field %S\n" path name;
       exit 1
 
-(* id -> wall_s, in file order. *)
+(* id -> (wall_s, events_per_sec option), in file order. events_per_sec is
+   absent from baselines written before the throughput gate existed. *)
 let experiments path doc =
   match Option.bind (Json.member "experiments" doc) Json.to_list with
   | None ->
@@ -59,7 +66,8 @@ let experiments path doc =
             ( Option.bind (Json.member "id" entry) Json.to_str,
               Option.bind (Json.member "wall_s" entry) Json.to_float )
           with
-          | Some id, Some wall -> (id, wall)
+          | Some id, Some wall ->
+              (id, wall, Option.bind (Json.member "events_per_sec" entry) Json.to_float)
           | _ ->
               Printf.eprintf "bench_check: %s: experiment entry without id/wall_s\n" path;
               exit 1)
@@ -117,28 +125,47 @@ let () =
   and fresh_exps = experiments fresh_path fresh in
   let threshold = 1.0 +. (!max_regression /. 100.0) in
   let failures = ref 0 in
-  Printf.printf "%-6s %12s %12s %9s\n" "id" "baseline(s)" "fresh(s)" "delta";
+  Printf.printf "%-6s %12s %12s %9s %11s\n" "id" "baseline(s)" "fresh(s)" "delta" "ev/s delta";
   List.iter
-    (fun (id, base_wall) ->
-      match List.find_opt (fun (id', _) -> String.equal id id') fresh_exps with
+    (fun (id, base_wall, base_eps) ->
+      match List.find_opt (fun (id', _, _) -> String.equal id id') fresh_exps with
       | None ->
           incr failures;
-          Printf.printf "%-6s %12.2f %12s %9s  MISSING from fresh run\n" id base_wall "-" "-"
-      | Some (_, fresh_wall) ->
+          Printf.printf "%-6s %12.2f %12s %9s %11s  MISSING from fresh run\n" id base_wall
+            "-" "-" "-"
+      | Some (_, fresh_wall, fresh_eps) ->
           let pct =
             if base_wall > 0.0 then 100.0 *. ((fresh_wall /. base_wall) -. 1.0) else 0.0
           in
-          let regressed =
+          (* Both gates share the sub-second exemption: wall jitter on a
+             0.05 s experiment swings its throughput by the same factor. *)
+          let jitter_exempt = base_wall -. fresh_wall <= 0.0 && fresh_wall -. base_wall <= !slack_s
+          in
+          let wall_regressed =
             fresh_wall > base_wall *. threshold && fresh_wall -. base_wall > !slack_s
           in
-          if regressed then incr failures;
-          Printf.printf "%-6s %12.2f %12.2f %+8.1f%%%s\n" id base_wall fresh_wall pct
-            (if regressed then "  REGRESSION" else ""))
+          let eps_info, eps_regressed =
+            match (base_eps, fresh_eps) with
+            | Some b, Some f when b > 0.0 ->
+                let eps_pct = 100.0 *. ((f /. b) -. 1.0) in
+                ( Printf.sprintf "%+10.1f%%" eps_pct,
+                  f *. threshold < b && base_wall > !slack_s && not jitter_exempt )
+            | Some _, None -> ("   MISSING", true)
+            | None, _ -> ("         -", false)
+            | Some _, Some _ -> ("         -", false)
+          in
+          if wall_regressed then incr failures;
+          if eps_regressed then incr failures;
+          Printf.printf "%-6s %12.2f %12.2f %+8.1f%% %s%s%s\n" id base_wall fresh_wall pct
+            eps_info
+            (if wall_regressed then "  WALL REGRESSION" else "")
+            (if eps_regressed then "  THROUGHPUT REGRESSION" else ""))
     base_exps;
   List.iter
-    (fun (id, fresh_wall) ->
-      if not (List.exists (fun (id', _) -> String.equal id id') base_exps) then
-        Printf.printf "%-6s %12s %12.2f %9s  new (not in baseline)\n" id "-" fresh_wall "-")
+    (fun (id, fresh_wall, _) ->
+      if not (List.exists (fun (id', _, _) -> String.equal id id') base_exps) then
+        Printf.printf "%-6s %12s %12.2f %9s %11s  new (not in baseline)\n" id "-" fresh_wall
+          "-" "-")
     fresh_exps;
   (* Engine headline (PR 7): the sparse plane must keep its aggregate-
      sampling advantage. The acceptance floor is 100x over the exact
